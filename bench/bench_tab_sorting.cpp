@@ -1,0 +1,118 @@
+// §7: the sorting-network byproduct. C(w,w) with comparators substituted
+// for balancers is a depth-O(lg²w) sorting network; we benchmark it against
+// Batcher's bitonic sorter (same depth class) and std::sort, after
+// re-verifying both schedules with the 0-1 principle / random permutations.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "cnet/core/counting.hpp"
+#include "cnet/sort/batcher.hpp"
+#include "cnet/sort/comparator_net.hpp"
+#include "cnet/util/prng.hpp"
+
+namespace {
+
+using namespace cnet;
+
+std::vector<int> random_values(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<int> v(n);
+  for (auto& x : v) x = static_cast<int>(rng.below(1u << 30));
+  return v;
+}
+
+const sort::ComparatorSchedule& cww_schedule(std::size_t w) {
+  static std::map<std::size_t, sort::ComparatorSchedule> cache;
+  auto it = cache.find(w);
+  if (it == cache.end()) {
+    it = cache.emplace(w, sort::schedule_from_topology(
+                              core::make_counting(w, w))).first;
+  }
+  return it->second;
+}
+
+const sort::ComparatorSchedule& batcher_schedule(std::size_t w) {
+  static std::map<std::size_t, sort::ComparatorSchedule> cache;
+  auto it = cache.find(w);
+  if (it == cache.end()) {
+    it = cache.emplace(w, sort::make_batcher_bitonic(w)).first;
+  }
+  return it->second;
+}
+
+void BM_cww_sorter(benchmark::State& state) {
+  const auto w = static_cast<std::size_t>(state.range(0));
+  const auto& schedule = cww_schedule(w);
+  const auto input = random_values(w, 0x50F7 + w);
+  for (auto _ : state) {
+    auto v = input;
+    sort::apply_in_place(schedule, std::span<int>(v));
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(w));
+  state.counters["comparators"] =
+      static_cast<double>(schedule.comparators.size());
+  state.counters["depth"] = static_cast<double>(schedule.depth);
+}
+
+void BM_batcher_sorter(benchmark::State& state) {
+  const auto w = static_cast<std::size_t>(state.range(0));
+  const auto& schedule = batcher_schedule(w);
+  const auto input = random_values(w, 0x50F7 + w);
+  for (auto _ : state) {
+    auto v = input;
+    sort::apply_in_place(schedule, std::span<int>(v));
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(w));
+  state.counters["comparators"] =
+      static_cast<double>(schedule.comparators.size());
+  state.counters["depth"] = static_cast<double>(schedule.depth);
+}
+
+void BM_std_sort(benchmark::State& state) {
+  const auto w = static_cast<std::size_t>(state.range(0));
+  const auto input = random_values(w, 0x50F7 + w);
+  for (auto _ : state) {
+    auto v = input;
+    std::sort(v.begin(), v.end(), std::greater<>());
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(w));
+}
+
+BENCHMARK(BM_cww_sorter)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_batcher_sorter)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_std_sort)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Correctness gate before timing (paper §7: C(w,w) sorts).
+  std::puts("verifying sorters before timing...");
+  for (const std::size_t w : {4u, 8u, 16u}) {
+    if (!sort::sorts_all_01(cww_schedule(w)) ||
+        !sort::sorts_all_01(batcher_schedule(w))) {
+      std::fprintf(stderr, "sorter verification FAILED at w=%zu\n", w);
+      return 1;
+    }
+  }
+  for (const std::size_t w : {64u, 256u, 1024u}) {
+    if (!sort::sorts_random(cww_schedule(w), 50, 1) ||
+        !sort::sorts_random(batcher_schedule(w), 50, 2)) {
+      std::fprintf(stderr, "sorter verification FAILED at w=%zu\n", w);
+      return 1;
+    }
+  }
+  std::puts("all sorters verified (0-1 principle + random permutations)");
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Experimental analysis (paper §1.3.1's reference to [19,20]): sustained
+// Fetch&Increment throughput of every counter implementation under real
+// threads, plus the observed CAS-stall census for the cas-retry discipline.
+//
+// NOTE: the paper's cited experiments ran on 10 UltraSparc workstations;
+// this harness runs wherever you build it. On a single-core host the
+// wall-clock ordering is dominated by path length (central counter first,
+// deeper networks slower) — the contention separation that favours
+// C(w, w·lgw) at high concurrency is reproduced in bench_tab_contention's
+// adversarial simulation, which is the measure the theorems speak about.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "cnet/baselines/bitonic.hpp"
+#include "cnet/baselines/periodic.hpp"
+#include "cnet/core/counting.hpp"
+#include "cnet/runtime/central.hpp"
+#include "cnet/runtime/difftree_rt.hpp"
+#include "cnet/runtime/network_counter.hpp"
+
+namespace {
+
+using namespace cnet;
+
+// Counters live for the whole benchmark run; each registered benchmark
+// hammers one of them.
+std::vector<std::unique_ptr<rt::Counter>>& registry() {
+  static std::vector<std::unique_ptr<rt::Counter>> counters;
+  return counters;
+}
+
+void counter_loop(benchmark::State& state, rt::Counter* counter) {
+  const auto hint = static_cast<std::size_t>(state.thread_index());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(counter->fetch_increment(hint));
+  }
+  state.counters["stalls"] = benchmark::Counter(
+      static_cast<double>(counter->stall_count()),
+      benchmark::Counter::kDefaults);
+  state.SetItemsProcessed(state.iterations());
+}
+
+void register_counter(std::unique_ptr<rt::Counter> counter) {
+  rt::Counter* raw = counter.get();
+  registry().push_back(std::move(counter));
+  auto* bench = benchmark::RegisterBenchmark(
+      ("fetch_increment/" + raw->name()).c_str(),
+      [raw](benchmark::State& state) { counter_loop(state, raw); });
+  bench->Threads(1)->Threads(2)->Threads(4)->Threads(8)->UseRealTime();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_counter(std::make_unique<rt::AtomicCounter>());
+  register_counter(std::make_unique<rt::CasCounter>());
+  register_counter(std::make_unique<rt::MutexCounter>());
+  register_counter(std::make_unique<rt::NetworkCounter>(
+      baselines::make_bitonic(8), "bitonic(8)"));
+  register_counter(std::make_unique<rt::NetworkCounter>(
+      baselines::make_periodic(8), "periodic(8)"));
+  register_counter(std::make_unique<rt::NetworkCounter>(
+      core::make_counting(8, 8), "C(8,8)"));
+  register_counter(std::make_unique<rt::NetworkCounter>(
+      core::make_counting(8, 24), "C(8,24)"));
+  register_counter(std::make_unique<rt::NetworkCounter>(
+      core::make_counting(8, 24), "C(8,24)/cas", rt::BalancerMode::kCasRetry));
+  register_counter(std::make_unique<rt::NetworkCounter>(
+      baselines::make_bitonic(8), "bitonic(8)/cas",
+      rt::BalancerMode::kCasRetry));
+  {
+    rt::DiffractingTreeCounter::Config cfg;
+    cfg.leaves = 8;
+    cfg.partner_spins = 4;  // collisions are rare on few-core hosts
+    register_counter(std::make_unique<rt::DiffractingTreeCounter>(cfg));
+  }
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Contention laboratory: run the paper's §6 stall-counting experiment on
+// any network family with any scheduler from the command line, and print
+// the per-layer/per-block breakdown — the interactive version of
+// bench_tab_contention / bench_fig_blocks.
+//
+// Usage: ./examples/contention_lab <family> <w> [t] [n] [scheduler]
+//   family:    counting | bitonic | periodic | difftree | ablated
+//   scheduler: convoy (default) | greedy | random | rr
+//
+// Example: ./examples/contention_lab counting 16 64 256 convoy
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "cnet/analysis/bounds.hpp"
+#include "cnet/baselines/bitonic.hpp"
+#include "cnet/baselines/difftree.hpp"
+#include "cnet/baselines/periodic.hpp"
+#include "cnet/core/ablation.hpp"
+#include "cnet/core/counting.hpp"
+#include "cnet/sim/contention.hpp"
+#include "cnet/util/bitops.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <family> <w> [t] [n] [scheduler]\n"
+                 "  family: counting bitonic periodic difftree ablated\n"
+                 "  scheduler: convoy greedy random rr\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string family = argv[1];
+  const auto w = static_cast<std::size_t>(std::atoll(argv[2]));
+  const std::size_t t =
+      argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : w;
+  const std::size_t n =
+      argc > 4 ? static_cast<std::size_t>(std::atoll(argv[4])) : 16 * w;
+  const std::string sched_name = argc > 5 ? argv[5] : "convoy";
+
+  std::optional<cnet::topo::Topology> net;
+  try {
+    if (family == "counting") net = cnet::core::make_counting(w, t);
+    if (family == "ablated")
+      net = cnet::core::make_counting_bitonic_merge(w, t);
+    if (family == "bitonic") net = cnet::baselines::make_bitonic(w);
+    if (family == "periodic") net = cnet::baselines::make_periodic(w);
+    if (family == "difftree")
+      net = cnet::baselines::make_diffracting_tree(w);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "construction failed: %s\n", e.what());
+    return 1;
+  }
+  if (!net) {
+    std::fprintf(stderr, "unknown family '%s'\n", family.c_str());
+    return 2;
+  }
+
+  cnet::sim::ContentionConfig cfg;
+  cfg.concurrency = n;
+  cfg.generations = 32;
+  if (sched_name == "greedy") {
+    cfg.scheduler = cnet::sim::SchedulerKind::kGreedyMaxQueue;
+  } else if (sched_name == "random") {
+    cfg.scheduler = cnet::sim::SchedulerKind::kRandom;
+  } else if (sched_name == "rr") {
+    cfg.scheduler = cnet::sim::SchedulerKind::kRoundRobin;
+  } else if (sched_name != "convoy") {
+    std::fprintf(stderr, "unknown scheduler '%s'\n", sched_name.c_str());
+    return 2;
+  }
+
+  const auto report = cnet::sim::measure_contention(*net, cfg);
+  std::printf("network : %s\n", net->summary().c_str());
+  std::printf("config  : n=%zu, m=%zu tokens, scheduler=%s\n", n,
+              report.tokens, cnet::sim::scheduler_name(cfg.scheduler));
+  std::printf("stalls/token: %.3f   (max queue: %zu)\n",
+              report.stalls_per_token, report.max_queue);
+  if (family == "counting") {
+    std::printf("Theorem 6.7 bound: %.1f\n",
+                cnet::analysis::counting_contention_bound(w, t, n));
+  }
+  std::printf("\nper-layer stalls/token:\n");
+  const std::size_t lgw = cnet::util::ilog2(w);
+  for (std::size_t d = 0; d < report.per_layer.size(); ++d) {
+    const char* block = "";
+    if (family == "counting" || family == "ablated") {
+      block = d + 1 < lgw ? " [Na]" : (d + 1 == lgw ? " [Nb]" : " [Nc]");
+    }
+    std::printf("  layer %2zu%s: %8.3f\n", d + 1, block,
+                report.per_layer[d]);
+  }
+  return 0;
+}

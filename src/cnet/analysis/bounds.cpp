@@ -1,0 +1,90 @@
+#include "cnet/analysis/bounds.hpp"
+
+#include "cnet/util/bitops.hpp"
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::analysis {
+
+namespace {
+
+std::size_t require_pow2(std::size_t w, const char* what) {
+  CNET_REQUIRE(w >= 2 && util::is_pow2(w), what);
+  return util::ilog2(w);
+}
+
+}  // namespace
+
+std::size_t counting_depth(std::size_t w) {
+  const std::size_t k = require_pow2(w, "width must be a power of two >= 2");
+  return (k * k + k) / 2;
+}
+
+std::size_t periodic_depth(std::size_t w) {
+  const std::size_t k = require_pow2(w, "width must be a power of two >= 2");
+  return k * k;
+}
+
+std::size_t merging_depth(std::size_t delta) {
+  return require_pow2(delta, "delta must be a power of two >= 2");
+}
+
+std::size_t counting_balancers(std::size_t w, std::size_t t) {
+  const std::size_t k = require_pow2(w, "width must be a power of two >= 2");
+  CNET_REQUIRE(t >= w && t % w == 0, "t must be a positive multiple of w");
+  // N_a: (k-1)·w/2, N_b: w/2, N_c: ((k²-k)/2)·(t/2)  (see block census).
+  return (k - 1) * w / 2 + w / 2 + (k * k - k) / 2 * (t / 2);
+}
+
+std::size_t bitonic_balancers(std::size_t w) {
+  // (lg²w+lgw)/2 layers of w/2 balancers.
+  return counting_depth(w) * w / 2;
+}
+
+std::size_t periodic_balancers(std::size_t w) {
+  return periodic_depth(w) * w / 2;
+}
+
+std::size_t merging_balancers(std::size_t t, std::size_t delta) {
+  CNET_REQUIRE(t >= 2 && t % 2 == 0, "t must be even");
+  return merging_depth(delta) * t / 2;
+}
+
+std::size_t prefix_smoothness(std::size_t w, std::size_t t) {
+  const std::size_t k = require_pow2(w, "width must be a power of two >= 2");
+  CNET_REQUIRE(t >= w && t % w == 0, "t must be a positive multiple of w");
+  return (w * k) / t + 2;
+}
+
+double layer_contention_bound(std::size_t q, std::size_t n, std::size_t W,
+                              std::size_t k) {
+  CNET_REQUIRE(q >= 1 && W >= 1, "bad layer shape");
+  return static_cast<double>(q) * static_cast<double>(n) /
+             static_cast<double>(W) +
+         static_cast<double>(q) * static_cast<double>(k + 1);
+}
+
+double counting_contention_bound(std::size_t w, std::size_t t,
+                                 std::size_t n) {
+  const std::size_t k = require_pow2(w, "width must be a power of two >= 2");
+  CNET_REQUIRE(t >= w && t % w == 0, "t must be a positive multiple of w");
+  const auto lgw = static_cast<double>(k);
+  const auto wd = static_cast<double>(w);
+  const auto td = static_cast<double>(t);
+  const auto nd = static_cast<double>(n);
+  return 4.0 * nd * lgw / wd + nd * lgw * lgw / td +
+         wd * lgw * lgw * lgw / td + 4.0 * lgw * lgw + lgw;
+}
+
+double bitonic_contention_leading(std::size_t w, std::size_t n) {
+  const auto lgw = static_cast<double>(
+      require_pow2(w, "width must be a power of two >= 2"));
+  return static_cast<double>(n) * lgw * lgw / static_cast<double>(w);
+}
+
+double periodic_contention_leading(std::size_t w, std::size_t n) {
+  const auto lgw = static_cast<double>(
+      require_pow2(w, "width must be a power of two >= 2"));
+  return static_cast<double>(n) * lgw * lgw * lgw / static_cast<double>(w);
+}
+
+}  // namespace cnet::analysis

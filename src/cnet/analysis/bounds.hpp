@@ -1,0 +1,49 @@
+// Closed-form bounds and identities from the paper (and the cited
+// analyses), in one place so benches, tests and downstream users compute
+// them consistently.
+//
+// All widths are exact powers of two where the respective construction
+// requires it; functions validate their domains.
+#pragma once
+
+#include <cstddef>
+
+namespace cnet::analysis {
+
+// Theorem 4.1: depth(C(w,t)) = (lg²w + lgw)/2 — also the bitonic depth.
+std::size_t counting_depth(std::size_t w);
+
+// Periodic network depth: lg²w (AHS §4).
+std::size_t periodic_depth(std::size_t w);
+
+// Lemma 3.1: depth(M(t,δ)) = lg δ.
+std::size_t merging_depth(std::size_t delta);
+
+// Balancer counts.
+std::size_t counting_balancers(std::size_t w, std::size_t t);   // C(w,t)
+std::size_t bitonic_balancers(std::size_t w);                   // = C(w,w)
+std::size_t periodic_balancers(std::size_t w);
+std::size_t merging_balancers(std::size_t t, std::size_t delta);
+
+// Lemma 6.6: smoothness bound s = ⌊w·lgw/t⌋ + 2 of the prefix N_a,b.
+std::size_t prefix_smoothness(std::size_t w, std::size_t t);
+
+// Corollary 6.4: amortized layer-contention bound q·n/W + q·(k+1) for a
+// layer of output width W built from balancers of fanout <= q whose input
+// is k-smooth.
+double layer_contention_bound(std::size_t q, std::size_t n, std::size_t W,
+                              std::size_t k);
+
+// Theorem 6.7: cont(C(w,t), n) < 4n·lgw/w + n·lg²w/t + w·lg³w/t
+//              + 4lg²w + lgw.
+double counting_contention_bound(std::size_t w, std::size_t t,
+                                 std::size_t n);
+
+// Dwork–Herlihy–Waarts: bitonic amortized contention Θ(n·lg²w/w); we
+// return the leading term n·lg²w/w (constant 1) for shape comparisons.
+double bitonic_contention_leading(std::size_t w, std::size_t n);
+
+// Periodic amortized contention leading term n·lg³w/w.
+double periodic_contention_leading(std::size_t w, std::size_t n);
+
+}  // namespace cnet::analysis

@@ -1,0 +1,82 @@
+#include "cnet/baselines/bitonic.hpp"
+
+#include "cnet/util/bitops.hpp"
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::baselines {
+
+using topo::WireId;
+
+namespace {
+
+std::vector<WireId> evens(std::span<const WireId> v) {
+  std::vector<WireId> out;
+  out.reserve((v.size() + 1) / 2);
+  for (std::size_t i = 0; i < v.size(); i += 2) out.push_back(v[i]);
+  return out;
+}
+
+std::vector<WireId> odds(std::span<const WireId> v) {
+  std::vector<WireId> out;
+  out.reserve(v.size() / 2);
+  for (std::size_t i = 1; i < v.size(); i += 2) out.push_back(v[i]);
+  return out;
+}
+
+}  // namespace
+
+std::vector<WireId> wire_bitonic_merger(topo::Builder& builder,
+                                        std::span<const WireId> x,
+                                        std::span<const WireId> y) {
+  CNET_REQUIRE(x.size() == y.size(), "merger halves must have equal width");
+  CNET_REQUIRE(util::is_pow2(x.size()), "merger width must be a power of two");
+  const std::size_t k = x.size();
+  if (k == 1) {
+    const auto [top, bottom] = builder.add_balancer2(x[0], y[0]);
+    return {top, bottom};
+  }
+  // AHS: merger A gets x's evens and y's odds; merger B gets x's odds and
+  // y's evens; a final layer of balancers combines A_i and B_i.
+  const auto a = wire_bitonic_merger(builder, evens(x), odds(y));
+  const auto b = wire_bitonic_merger(builder, odds(x), evens(y));
+  std::vector<WireId> z(2 * k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto [top, bottom] = builder.add_balancer2(a[i], b[i]);
+    z[2 * i] = top;
+    z[2 * i + 1] = bottom;
+  }
+  return z;
+}
+
+std::vector<WireId> wire_bitonic(topo::Builder& builder,
+                                 std::span<const WireId> in) {
+  const std::size_t w = in.size();
+  CNET_REQUIRE(w >= 1 && util::is_pow2(w),
+               "bitonic width must be a power of two");
+  if (w == 1) return {in[0]};
+  const auto top = wire_bitonic(builder, in.subspan(0, w / 2));
+  const auto bottom = wire_bitonic(builder, in.subspan(w / 2));
+  return wire_bitonic_merger(builder, top, bottom);
+}
+
+topo::Topology make_bitonic(std::size_t w) {
+  CNET_REQUIRE(w >= 2 && util::is_pow2(w),
+               "bitonic width must be a power of two >= 2");
+  topo::Builder b;
+  const auto in = b.add_network_inputs(w);
+  b.set_outputs(wire_bitonic(b, in));
+  return std::move(b).build();
+}
+
+topo::Topology make_bitonic_merger(std::size_t width) {
+  CNET_REQUIRE(width >= 2 && width % 2 == 0 && util::is_pow2(width),
+               "merger width must be an even power of two");
+  topo::Builder b;
+  const auto in = b.add_network_inputs(width);
+  const std::span<const WireId> all(in);
+  b.set_outputs(wire_bitonic_merger(b, all.subspan(0, width / 2),
+                                    all.subspan(width / 2)));
+  return std::move(b).build();
+}
+
+}  // namespace cnet::baselines

@@ -1,0 +1,28 @@
+// The bitonic counting network of Aspnes, Herlihy & Shavit (JACM'94, §3) —
+// the paper's principal regular baseline (§1.3). Width w = 2^k, built from
+// (2,2)-balancers, depth (lg²w + lgw)/2, amortized contention
+// Θ(n·lg²w / w) [Dwork-Herlihy-Waarts §3.2].
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cnet/topology/topology.hpp"
+
+namespace cnet::baselines {
+
+// Wires the bitonic Merger[2k] onto two width-k step inputs; returns 2k
+// output wires.
+std::vector<topo::WireId> wire_bitonic_merger(
+    topo::Builder& builder, std::span<const topo::WireId> x,
+    std::span<const topo::WireId> y);
+
+// Wires Bitonic[w] onto `in` (w a power of two >= 1).
+std::vector<topo::WireId> wire_bitonic(topo::Builder& builder,
+                                       std::span<const topo::WireId> in);
+
+// Standalone networks.
+topo::Topology make_bitonic(std::size_t w);
+topo::Topology make_bitonic_merger(std::size_t width);  // width = 2k
+
+}  // namespace cnet::baselines

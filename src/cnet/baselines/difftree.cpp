@@ -1,0 +1,43 @@
+#include "cnet/baselines/difftree.hpp"
+
+#include <span>
+
+#include "cnet/util/bitops.hpp"
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::baselines {
+
+using topo::WireId;
+
+topo::Topology make_diffracting_tree(std::size_t w) {
+  CNET_REQUIRE(w >= 2 && util::is_pow2(w),
+               "diffracting tree needs w = 2^k >= 2 leaves");
+  topo::Builder b;
+  const WireId root = b.add_network_input();
+
+  // Recursive lambda: splits `wire` through `levels` more tree levels and
+  // returns the leaf wires in step order (token i mod 2^levels lands on
+  // returned leaf i, which is bit-reversed path order).
+  auto rec = [&b](auto&& self, WireId wire,
+                  std::size_t levels) -> std::vector<WireId> {
+    if (levels == 0) return {wire};
+    const WireId in[1] = {wire};
+    const auto out = b.add_balancer(in, 2);
+    const auto top = self(self, out[0], levels - 1);
+    const auto bottom = self(self, out[1], levels - 1);
+    // Token i mod 2 == 0 goes to the top subtree, == 1 to the bottom; the
+    // interleaving makes the concatenated leaf sequence step.
+    std::vector<WireId> leaves;
+    leaves.reserve(top.size() * 2);
+    for (std::size_t i = 0; i < top.size(); ++i) {
+      leaves.push_back(top[i]);
+      leaves.push_back(bottom[i]);
+    }
+    return leaves;
+  };
+  const auto leaves = rec(rec, root, util::ilog2(w));
+  b.set_outputs(leaves);
+  return std::move(b).build();
+}
+
+}  // namespace cnet::baselines

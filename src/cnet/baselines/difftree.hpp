@@ -1,0 +1,20 @@
+// Diffracting-tree topology (Shavit & Zemach, TOCS'96) — the irregular
+// baseline discussed in paper §1.4.1: a binary tree of (1,2)-balancers with
+// 1 input wire, w output wires and depth lg w. Its amortized contention is
+// Θ(n) (an adversary can pile every token onto the root), which is what the
+// paper contrasts with C(w,t)'s bounds.
+//
+// Output wires are ordered so that the quiescent output sequence satisfies
+// the step property: token number i (0-based) reaches leaf bitrev(i mod w),
+// so leaves are emitted in bit-reversed path order.
+#pragma once
+
+#include "cnet/topology/topology.hpp"
+
+namespace cnet::baselines {
+
+// Builds the (1,2)-balancer tree with w = 2^k leaves (k >= 1). The network
+// has a single input wire.
+topo::Topology make_diffracting_tree(std::size_t w);
+
+}  // namespace cnet::baselines

@@ -1,0 +1,54 @@
+#include "cnet/baselines/periodic.hpp"
+
+#include "cnet/util/bitops.hpp"
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::baselines {
+
+using topo::WireId;
+
+std::vector<WireId> wire_block(topo::Builder& builder,
+                               std::span<const WireId> in) {
+  const std::size_t w = in.size();
+  CNET_REQUIRE(w >= 1 && util::is_pow2(w),
+               "block width must be a power of two");
+  if (w == 1) return {in[0]};
+  // The balanced block of Dowd–Perl–Rudolph–Saks, which AHS's Block[w]
+  // realizes: a "mirror" layer pairing wire i with wire w-1-i, followed by
+  // two recursive blocks on the top and bottom halves.
+  std::vector<WireId> mirrored(w);
+  for (std::size_t i = 0; i < w / 2; ++i) {
+    const auto [top, bottom] = builder.add_balancer2(in[i], in[w - 1 - i]);
+    mirrored[i] = top;
+    mirrored[w - 1 - i] = bottom;
+  }
+  const std::span<const WireId> m(mirrored);
+  auto top_half = wire_block(builder, m.subspan(0, w / 2));
+  const auto bottom_half = wire_block(builder, m.subspan(w / 2));
+  top_half.insert(top_half.end(), bottom_half.begin(), bottom_half.end());
+  return top_half;
+}
+
+topo::Topology make_block(std::size_t w) {
+  CNET_REQUIRE(w >= 2 && util::is_pow2(w),
+               "block width must be a power of two >= 2");
+  topo::Builder b;
+  const auto in = b.add_network_inputs(w);
+  b.set_outputs(wire_block(b, in));
+  return std::move(b).build();
+}
+
+topo::Topology make_periodic(std::size_t w) {
+  CNET_REQUIRE(w >= 2 && util::is_pow2(w),
+               "periodic width must be a power of two >= 2");
+  topo::Builder b;
+  std::vector<WireId> wires = b.add_network_inputs(w);
+  const std::size_t rounds = util::ilog2(w);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    wires = wire_block(b, wires);
+  }
+  b.set_outputs(wires);
+  return std::move(b).build();
+}
+
+}  // namespace cnet::baselines

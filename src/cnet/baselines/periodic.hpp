@@ -1,0 +1,24 @@
+// The periodic counting network of Aspnes, Herlihy & Shavit (JACM'94, §4):
+// lg w cascaded copies of the Block[w] network. Width w = 2^k, depth lg²w,
+// amortized contention O(n·lg³w / w) [Dwork-Herlihy-Waarts §3.4]. The
+// paper's second regular baseline (§1.3.1).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cnet/topology/topology.hpp"
+
+namespace cnet::baselines {
+
+// Wires one Block[w] onto `in` (w a power of two >= 1).
+std::vector<topo::WireId> wire_block(topo::Builder& builder,
+                                     std::span<const topo::WireId> in);
+
+// Standalone Block[w] (depth lg w).
+topo::Topology make_block(std::size_t w);
+
+// The periodic network: lg w cascaded blocks (depth lg²w).
+topo::Topology make_periodic(std::size_t w);
+
+}  // namespace cnet::baselines

@@ -1,0 +1,51 @@
+#include "cnet/core/ablation.hpp"
+
+#include "cnet/baselines/bitonic.hpp"
+#include "cnet/core/counting.hpp"
+#include "cnet/core/ladder.hpp"
+#include "cnet/util/bitops.hpp"
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::core {
+
+using topo::WireId;
+
+namespace {
+
+std::vector<WireId> wire_ablated(topo::Builder& builder,
+                                 std::span<const WireId> in, std::size_t t) {
+  const std::size_t w = in.size();
+  if (w == 2) {
+    return builder.add_balancer(in, t);
+  }
+  // Identical skeleton to wire_counting (ladder + two recursive halves),
+  // but the final merge is the width-t bitonic merger. The merger accepts
+  // *any* two step inputs, so the ladder's δ <= w/2 guarantee is unused —
+  // and its depth lg t is paid on every recursion level.
+  const auto ladder_out = wire_ladder(builder, in);
+  const std::span<const WireId> lo(ladder_out);
+  const auto g = wire_ablated(builder, lo.subspan(0, w / 2), t / 2);
+  const auto h = wire_ablated(builder, lo.subspan(w / 2), t / 2);
+  return baselines::wire_bitonic_merger(builder, g, h);
+}
+
+}  // namespace
+
+topo::Topology make_counting_bitonic_merge(std::size_t w, std::size_t t) {
+  CNET_REQUIRE(is_valid_counting_params(w, t),
+               "invalid (w, t): need w = 2^k, t = p*w");
+  CNET_REQUIRE(util::is_pow2(t),
+               "bitonic-merge ablation needs a power-of-two t");
+  topo::Builder b;
+  const auto in = b.add_network_inputs(w);
+  b.set_outputs(wire_ablated(b, in, t));
+  return std::move(b).build();
+}
+
+std::size_t counting_bitonic_merge_depth(std::size_t w,
+                                         std::size_t t) noexcept {
+  if (w == 2) return 1;
+  return 1 + counting_bitonic_merge_depth(w / 2, t / 2) + util::ilog2(t);
+}
+
+}  // namespace cnet::core

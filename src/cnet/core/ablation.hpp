@@ -1,0 +1,28 @@
+// Ablation of the paper's key design choice (§1.3.2, §3.3).
+//
+// The construction of C(w,t) merges the two recursive halves with the
+// difference merging network M(t, w/2) of depth lg(w/2). The paper argues
+// that substituting the classical bitonic merger (depth lg t) would make
+// the total depth Θ(lg w · lg t) — a function of the *output* width — and
+// that this is precisely what the ladder + difference-merger combination
+// avoids. This module builds that hypothetical network so the claim can be
+// measured: same counting behaviour, strictly worse depth whenever t > w.
+#pragma once
+
+#include <cstddef>
+
+#include "cnet/topology/topology.hpp"
+
+namespace cnet::core {
+
+// C(w,t) with every M(t', w'/2) replaced by a bitonic merger of width t'.
+// Valid parameters: the same as make_counting PLUS t/w a power of two
+// (the bitonic merger requires power-of-two widths).
+topo::Topology make_counting_bitonic_merge(std::size_t w, std::size_t t);
+
+// Closed-form depth of the ablated network:
+//   D(2) = 1;  D(w) = 1 + D(w/2) + lg t.
+std::size_t counting_bitonic_merge_depth(std::size_t w,
+                                         std::size_t t) noexcept;
+
+}  // namespace cnet::core

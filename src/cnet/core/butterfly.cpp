@@ -1,0 +1,88 @@
+#include "cnet/core/butterfly.hpp"
+
+#include "cnet/core/ladder.hpp"
+#include "cnet/util/bitops.hpp"
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::core {
+
+using topo::WireId;
+
+namespace {
+
+void require_pow2_width(std::size_t w) {
+  CNET_REQUIRE(w >= 1 && util::is_pow2(w),
+               "butterfly width must be a power of two");
+}
+
+// Backward-butterfly recursion with a parameterized base fanout: base
+// balancers are (2, base_fanout). base_fanout == 2 gives E(w); 2p gives the
+// C(w,t) prefix C'(w,t) of §6.4 (Fig. 16 left).
+std::vector<WireId> wire_backward_generic(topo::Builder& builder,
+                                          std::span<const WireId> in,
+                                          std::size_t base_fanout) {
+  const std::size_t w = in.size();
+  if (w == 1) return {in[0]};
+  if (w == 2) {
+    return builder.add_balancer(in, base_fanout);
+  }
+  const auto ladder_out = wire_ladder(builder, in);
+  const std::span<const WireId> lo(ladder_out);
+  auto top = wire_backward_generic(builder, lo.subspan(0, w / 2),
+                                   base_fanout);
+  const auto bottom = wire_backward_generic(builder, lo.subspan(w / 2),
+                                            base_fanout);
+  top.insert(top.end(), bottom.begin(), bottom.end());
+  return top;
+}
+
+}  // namespace
+
+std::vector<WireId> wire_forward_butterfly(topo::Builder& builder,
+                                           std::span<const WireId> in) {
+  const std::size_t w = in.size();
+  require_pow2_width(w);
+  if (w == 1) return {in[0]};
+  auto top = wire_forward_butterfly(builder, in.subspan(0, w / 2));
+  const auto bottom = wire_forward_butterfly(builder, in.subspan(w / 2));
+  top.insert(top.end(), bottom.begin(), bottom.end());
+  return wire_ladder(builder, top);
+}
+
+std::vector<WireId> wire_backward_butterfly(topo::Builder& builder,
+                                            std::span<const WireId> in) {
+  require_pow2_width(in.size());
+  return wire_backward_generic(builder, in, 2);
+}
+
+topo::Topology make_forward_butterfly(std::size_t w) {
+  require_pow2_width(w);
+  topo::Builder b;
+  const auto in = b.add_network_inputs(w);
+  b.set_outputs(wire_forward_butterfly(b, in));
+  return std::move(b).build();
+}
+
+topo::Topology make_backward_butterfly(std::size_t w) {
+  require_pow2_width(w);
+  topo::Builder b;
+  const auto in = b.add_network_inputs(w);
+  b.set_outputs(wire_backward_butterfly(b, in));
+  return std::move(b).build();
+}
+
+topo::Topology make_counting_prefix(std::size_t w, std::size_t t) {
+  CNET_REQUIRE(w >= 2 && util::is_pow2(w), "w must be a power of two >= 2");
+  CNET_REQUIRE(t >= w && t % w == 0, "t must be a positive multiple of w");
+  const std::size_t base_fanout = 2 * (t / w);  // the (2, 2p)-balancers
+  topo::Builder b;
+  const auto in = b.add_network_inputs(w);
+  b.set_outputs(wire_backward_generic(b, in, base_fanout));
+  return std::move(b).build();
+}
+
+std::size_t prefix_smoothness_bound(std::size_t w, std::size_t t) noexcept {
+  return (w * util::ilog2(w)) / t + 2;
+}
+
+}  // namespace cnet::core

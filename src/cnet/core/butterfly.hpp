@@ -1,0 +1,38 @@
+// Butterfly networks (paper §5).
+//
+// The forward-butterfly D(w) recursively places two D(w/2) networks before
+// a ladder L(w); the backward-butterfly E(w) places the ladder first. Both
+// are regular width-w networks of depth lg w; D(w) is lgw-smoothing
+// (Lemma 5.2) and E(w) is isomorphic to D(w) (Lemma 5.3). The first lg w
+// layers of C(w,t) — blocks N_a,N_b — are a backward butterfly whose last
+// layer is widened to (2,2p)-balancers; this is what drives the contention
+// analysis (§6.4, Lemma 6.6).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cnet/topology/topology.hpp"
+
+namespace cnet::core {
+
+// Wires D(w) / E(w) onto `in` (w a power of two, possibly 1) and returns the
+// w output wires.
+std::vector<topo::WireId> wire_forward_butterfly(
+    topo::Builder& builder, std::span<const topo::WireId> in);
+std::vector<topo::WireId> wire_backward_butterfly(
+    topo::Builder& builder, std::span<const topo::WireId> in);
+
+// Standalone networks.
+topo::Topology make_forward_butterfly(std::size_t w);
+topo::Topology make_backward_butterfly(std::size_t w);
+
+// The network C'(w, t) of §6.4: the first lg w layers of C(w, t), i.e. a
+// backward butterfly whose final layer consists of (2, 2t/w)-balancers.
+// For t == w this is exactly E(w). Lemma 6.6: it is (⌊w·lgw/t⌋+2)-smoothing.
+topo::Topology make_counting_prefix(std::size_t w, std::size_t t);
+
+// The smoothness bound s = ⌊w·lgw/t⌋ + 2 of Lemma 6.6.
+std::size_t prefix_smoothness_bound(std::size_t w, std::size_t t) noexcept;
+
+}  // namespace cnet::core

@@ -1,0 +1,79 @@
+#include "cnet/core/counting.hpp"
+
+#include "cnet/core/ladder.hpp"
+#include "cnet/core/merging.hpp"
+#include "cnet/util/bitops.hpp"
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::core {
+
+using topo::WireId;
+
+bool is_valid_counting_params(std::size_t w, std::size_t t) noexcept {
+  return w >= 2 && util::is_pow2(w) && t >= w && t % w == 0;
+}
+
+std::size_t counting_depth(std::size_t w) noexcept {
+  const std::size_t k = util::ilog2(w);
+  return (k * k + k) / 2;
+}
+
+std::vector<WireId> wire_counting(topo::Builder& builder,
+                                  std::span<const WireId> in,
+                                  std::size_t t) {
+  const std::size_t w = in.size();
+  CNET_REQUIRE(is_valid_counting_params(w, t),
+               "invalid (w, t) for C(w, t): need w = 2^k, t = p*w");
+  // Recursion basis C(2, t): a single (2, t)-balancer (a (2,2p)-balancer).
+  if (w == 2) {
+    return builder.add_balancer(in, t);
+  }
+  // Sub-step 1: ladder, then the two recursive halves on the ladder's
+  // top/bottom output halves (Fig. 10).
+  const auto ladder_out = wire_ladder(builder, in);
+  const std::span<const WireId> lo(ladder_out);
+  const auto g = wire_counting(builder, lo.subspan(0, w / 2), t / 2);
+  const auto h = wire_counting(builder, lo.subspan(w / 2), t / 2);
+  // Sub-step 2: merge with M(t, w/2); the ladder guarantees
+  // 0 <= sum(g) - sum(h) <= w/2 in every quiescent state (Theorem 4.2).
+  return wire_merging(builder, g, h, w / 2);
+}
+
+topo::Topology make_counting(std::size_t w, std::size_t t) {
+  CNET_REQUIRE(is_valid_counting_params(w, t),
+               "invalid (w, t) for C(w, t): need w = 2^k, t = p*w");
+  topo::Builder b;
+  const auto in = b.add_network_inputs(w);
+  const auto out = wire_counting(b, in, t);
+  b.set_outputs(out);
+  return std::move(b).build();
+}
+
+Block classify_block(const topo::Topology& net, topo::BalancerId id,
+                     std::size_t w) {
+  CNET_REQUIRE(util::is_pow2(w) && w >= 2, "w must be a power of two >= 2");
+  const std::size_t lgw = util::ilog2(w);
+  const std::size_t d = net.balancer_depth(id);
+  if (d < lgw) return Block::kNa;
+  if (d == lgw) return Block::kNb;
+  return Block::kNc;
+}
+
+BlockCensus block_census(const topo::Topology& net, std::size_t w) {
+  CNET_REQUIRE(util::is_pow2(w) && w >= 2, "w must be a power of two >= 2");
+  const std::size_t lgw = util::ilog2(w);
+  BlockCensus census;
+  census.layers_na = lgw - 1;
+  census.layers_nb = 1;
+  census.layers_nc = net.depth() > lgw ? net.depth() - lgw : 0;
+  for (std::uint32_t b = 0; b < net.num_balancers(); ++b) {
+    switch (classify_block(net, topo::BalancerId{b}, w)) {
+      case Block::kNa: ++census.balancers_na; break;
+      case Block::kNb: ++census.balancers_nb; break;
+      case Block::kNc: ++census.balancers_nc; break;
+    }
+  }
+  return census;
+}
+
+}  // namespace cnet::core

@@ -1,0 +1,64 @@
+// The paper's primary contribution: the irregular counting network C(w, t)
+// (paper §4), with input width w = 2^k and output width t = p·w (k, p >= 1),
+// built from (2,2)-balancers and (2,2p)-balancers.
+//
+//   * depth(C(w,t)) = (lg²w + lgw)/2, a function of w only (Theorem 4.1);
+//   * every quiescent output sequence is step (Theorem 4.2);
+//   * amortized contention O(n·lgw/w + n·lg²w/t + w·lg³w/t + lg²w)
+//     (Theorem 6.7) — choosing t = w·lgw beats the bitonic network of equal
+//     width and depth by a lg w factor at high concurrency.
+//
+// The construction (Fig. 10): a ladder L(w) feeds two recursive copies
+// C(w/2, t/2), whose outputs a difference merging network M(t, w/2)
+// combines; the recursion bottoms out at the single (2, 2p)-balancer C(2,2p).
+//
+// The unfolded network splits into three blocks (paper §1.3.2, Fig. 3):
+//   N_a: layers 1..lgw-1 (width w, (2,2)-balancers),
+//   N_b: layer lgw (the (2,2p) transition layer, width w -> t),
+//   N_c: layers lgw+1..depth (width t, all the mergers).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "cnet/topology/topology.hpp"
+
+namespace cnet::core {
+
+// True iff (w, t) is a valid parameter pair: w = 2^k, t = p·w, k,p >= 1.
+bool is_valid_counting_params(std::size_t w, std::size_t t) noexcept;
+
+// Closed-form depth (lg²w + lgw)/2 from Theorem 4.1.
+std::size_t counting_depth(std::size_t w) noexcept;
+
+// Wires C(w, t) onto `in` (size w) inside an ongoing build; returns the t
+// output wires.
+std::vector<topo::WireId> wire_counting(topo::Builder& builder,
+                                        std::span<const topo::WireId> in,
+                                        std::size_t t);
+
+// Standalone C(w, t).
+topo::Topology make_counting(std::size_t w, std::size_t t);
+
+// Which block of the unfolded construction a balancer belongs to.
+enum class Block : unsigned char { kNa, kNb, kNc };
+
+struct BlockCensus {
+  std::size_t balancers_na = 0;
+  std::size_t balancers_nb = 0;
+  std::size_t balancers_nc = 0;
+  std::size_t layers_na = 0;   // lgw - 1
+  std::size_t layers_nb = 0;   // 1
+  std::size_t layers_nc = 0;   // (lg²w - lgw)/2
+};
+
+// Classifies a balancer of C(w, t) by depth: N_a for depth < lgw, N_b for
+// depth == lgw, N_c beyond. `net` must be a network built by make_counting.
+Block classify_block(const topo::Topology& net, topo::BalancerId id,
+                     std::size_t w);
+
+// Census of the three blocks of C(w, t).
+BlockCensus block_census(const topo::Topology& net, std::size_t w);
+
+}  // namespace cnet::core

@@ -1,0 +1,29 @@
+#include "cnet/core/ladder.hpp"
+
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::core {
+
+std::vector<topo::WireId> wire_ladder(topo::Builder& builder,
+                                      std::span<const topo::WireId> in) {
+  const std::size_t w = in.size();
+  CNET_REQUIRE(w >= 2 && w % 2 == 0, "ladder width must be even and >= 2");
+  std::vector<topo::WireId> out(w);
+  const std::size_t half = w / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    const auto [top, bottom] = builder.add_balancer2(in[i], in[i + half]);
+    out[i] = top;
+    out[i + half] = bottom;
+  }
+  return out;
+}
+
+topo::Topology make_ladder(std::size_t w) {
+  topo::Builder b;
+  const auto in = b.add_network_inputs(w);
+  const auto out = wire_ladder(b, in);
+  b.set_outputs(out);
+  return std::move(b).build();
+}
+
+}  // namespace cnet::core

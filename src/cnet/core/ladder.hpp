@@ -1,0 +1,26 @@
+// Ladder network L(w) (paper §4.1).
+//
+// A single layer of w/2 (2,2)-balancers where balancer b_i connects input
+// wires i and i + w/2 to output wires i and i + w/2. Placed before the two
+// recursive halves of C(w,t), it bounds the difference of the token counts
+// entering the halves by w/2 — the property the difference merging network
+// M(t, w/2) then exploits.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cnet/topology/topology.hpp"
+
+namespace cnet::core {
+
+// Wires a ladder onto `in` (size w, even, >= 2) inside an ongoing build;
+// returns the w output wires in ladder order (balancer b_i's top output at
+// position i, bottom output at position i + w/2).
+std::vector<topo::WireId> wire_ladder(topo::Builder& builder,
+                                      std::span<const topo::WireId> in);
+
+// Standalone L(w) network.
+topo::Topology make_ladder(std::size_t w);
+
+}  // namespace cnet::core

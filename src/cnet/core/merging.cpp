@@ -1,0 +1,87 @@
+#include "cnet/core/merging.hpp"
+
+#include "cnet/util/bitops.hpp"
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::core {
+
+namespace {
+
+using topo::WireId;
+
+// Even/odd wire subsequences.
+std::vector<WireId> evens(std::span<const WireId> v) {
+  std::vector<WireId> out;
+  out.reserve((v.size() + 1) / 2);
+  for (std::size_t i = 0; i < v.size(); i += 2) out.push_back(v[i]);
+  return out;
+}
+
+std::vector<WireId> odds(std::span<const WireId> v) {
+  std::vector<WireId> out;
+  out.reserve(v.size() / 2);
+  for (std::size_t i = 1; i < v.size(); i += 2) out.push_back(v[i]);
+  return out;
+}
+
+// Recursion basis M(t, 2) (paper §3.1, Fig. 5 top): a single layer of t/2
+// (2,2)-balancers with a wrap-around balancer b_0.
+std::vector<WireId> wire_merging_base(topo::Builder& builder,
+                                      std::span<const WireId> x,
+                                      std::span<const WireId> y) {
+  const std::size_t half = x.size();  // t/2
+  const std::size_t t = 2 * half;
+  std::vector<WireId> z(t);
+  // b_0: inputs (x_0, y_{t/2-1}) -> outputs (z_0, z_{t-1}).
+  {
+    const auto [first, second] = builder.add_balancer2(x[0], y[half - 1]);
+    z[0] = first;
+    z[t - 1] = second;
+  }
+  // b_i (1 <= i < t/2): inputs (y_{i-1}, x_i) -> outputs (z_{2i-1}, z_{2i}).
+  for (std::size_t i = 1; i < half; ++i) {
+    const auto [first, second] = builder.add_balancer2(y[i - 1], x[i]);
+    z[2 * i - 1] = first;
+    z[2 * i] = second;
+  }
+  return z;
+}
+
+}  // namespace
+
+bool is_valid_merging_params(std::size_t t, std::size_t delta) noexcept {
+  return delta >= 2 && util::is_pow2(delta) && t % (2 * delta) == 0 && t > 0;
+}
+
+std::vector<WireId> wire_merging(topo::Builder& builder,
+                                 std::span<const WireId> x,
+                                 std::span<const WireId> y,
+                                 std::size_t delta) {
+  CNET_REQUIRE(x.size() == y.size(), "merging halves must have equal width");
+  const std::size_t t = x.size() + y.size();
+  CNET_REQUIRE(is_valid_merging_params(t, delta),
+               "invalid (t, delta) for M(t, delta)");
+  if (delta == 2) {
+    return wire_merging_base(builder, x, y);
+  }
+  // Sub-step 1: M0(t/2, δ/2) on the even subsequences, M1(t/2, δ/2) on the
+  // odd subsequences (paper §3.1, Fig. 5 bottom).
+  const auto g = wire_merging(builder, evens(x), evens(y), delta / 2);
+  const auto h = wire_merging(builder, odds(x), odds(y), delta / 2);
+  // Sub-step 2: combine with the single layer M(t, 2).
+  return wire_merging_base(builder, g, h);
+}
+
+topo::Topology make_merging(std::size_t t, std::size_t delta) {
+  CNET_REQUIRE(is_valid_merging_params(t, delta),
+               "invalid (t, delta) for M(t, delta)");
+  topo::Builder b;
+  const auto in = b.add_network_inputs(t);
+  const std::span<const WireId> all(in);
+  const auto out = wire_merging(b, all.subspan(0, t / 2),
+                                all.subspan(t / 2), delta);
+  b.set_outputs(out);
+  return std::move(b).build();
+}
+
+}  // namespace cnet::core

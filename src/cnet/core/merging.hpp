@@ -1,0 +1,33 @@
+// Difference merging network M(t, δ) (paper §3).
+//
+// A regular width-t network with merging parameter δ: if its two input
+// halves x(t/2), y(t/2) are step sequences whose sums satisfy
+// 0 <= Σx − Σy <= δ, the output is a step sequence (Lemma 3.3). Its depth is
+// lg δ (Lemma 3.1) — crucially independent of t, unlike the bitonic merger
+// of depth lg t, which is what keeps depth(C(w,t)) a function of w alone.
+//
+// Valid parameters (paper §3): t = p·2^i, δ = 2^j with p >= 1 and
+// 1 <= j < i — i.e. δ is a power of two >= 2 and 2δ divides t.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cnet/topology/topology.hpp"
+
+namespace cnet::core {
+
+// True iff (t, δ) is a valid parameter pair for M(t, δ).
+bool is_valid_merging_params(std::size_t t, std::size_t delta) noexcept;
+
+// Wires M(t, δ) onto first input sequence `x` and second input sequence `y`
+// (each of size t/2) inside an ongoing build; returns the t output wires.
+std::vector<topo::WireId> wire_merging(topo::Builder& builder,
+                                       std::span<const topo::WireId> x,
+                                       std::span<const topo::WireId> y,
+                                       std::size_t delta);
+
+// Standalone M(t, δ): input wires 0..t/2-1 form x, t/2..t-1 form y.
+topo::Topology make_merging(std::size_t t, std::size_t delta);
+
+}  // namespace cnet::core

@@ -1,0 +1,35 @@
+#include "cnet/runtime/barrier.hpp"
+
+#include <thread>
+
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::rt {
+
+CountingBarrier::CountingBarrier(std::shared_ptr<Counter> counter,
+                                 std::size_t parties)
+    : counter_(std::move(counter)), parties_(parties) {
+  CNET_REQUIRE(counter_ != nullptr, "barrier needs a counter");
+  CNET_REQUIRE(parties_ >= 1, "barrier needs at least one party");
+}
+
+std::int64_t CountingBarrier::arrive_and_wait(std::size_t thread_hint) {
+  const std::int64_t ticket = counter_->fetch_increment(thread_hint);
+  const std::int64_t phase = ticket / static_cast<std::int64_t>(parties_);
+  const bool last =
+      ticket % static_cast<std::int64_t>(parties_) ==
+      static_cast<std::int64_t>(parties_) - 1;
+  if (last) {
+    epoch_.value.store(phase + 1, std::memory_order_release);
+    epoch_.value.notify_all();
+  } else {
+    std::int64_t seen = epoch_.value.load(std::memory_order_acquire);
+    while (seen <= phase) {
+      epoch_.value.wait(seen, std::memory_order_acquire);
+      seen = epoch_.value.load(std::memory_order_acquire);
+    }
+  }
+  return phase;
+}
+
+}  // namespace cnet::rt

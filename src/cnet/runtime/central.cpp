@@ -1,0 +1,27 @@
+#include "cnet/runtime/central.hpp"
+
+namespace cnet::rt {
+
+std::int64_t CasCounter::fetch_increment(std::size_t thread_hint) {
+  std::int64_t cur = value_.value.load(std::memory_order_relaxed);
+  std::uint64_t retries = 0;
+  while (!value_.value.compare_exchange_weak(cur, cur + 1,
+                                             std::memory_order_relaxed)) {
+    ++retries;
+  }
+  if (retries != 0) {
+    stalls_[thread_hint % kStallSlots].value.fetch_add(
+        retries, std::memory_order_relaxed);
+  }
+  return cur;
+}
+
+std::uint64_t CasCounter::stall_count() const {
+  std::uint64_t total = 0;
+  for (const auto& slot : stalls_) {
+    total += slot.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace cnet::rt

@@ -1,0 +1,54 @@
+// Centralized counter baselines: the trivial single-location counters that
+// counting networks are designed to outperform under contention (paper §1.1).
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+#include "cnet/runtime/counter.hpp"
+#include "cnet/util/cacheline.hpp"
+
+namespace cnet::rt {
+
+// One shared cache line, advanced by fetch_add. Wait-free but a sequential
+// bottleneck: every operation serializes on the same location.
+class AtomicCounter final : public Counter {
+ public:
+  std::int64_t fetch_increment(std::size_t) override {
+    return value_.value.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::string name() const override { return "central-atomic"; }
+
+ private:
+  util::Padded<std::atomic<std::int64_t>> value_{};
+};
+
+// CAS-retry central counter: the canonical high-contention victim; retries
+// are counted as stalls.
+class CasCounter final : public Counter {
+ public:
+  std::int64_t fetch_increment(std::size_t thread_hint) override;
+  std::string name() const override { return "central-cas"; }
+  std::uint64_t stall_count() const override;
+
+ private:
+  static constexpr std::size_t kStallSlots = 64;
+  util::Padded<std::atomic<std::int64_t>> value_{};
+  util::Padded<std::atomic<std::uint64_t>> stalls_[kStallSlots]{};
+};
+
+// Lock-protected counter.
+class MutexCounter final : public Counter {
+ public:
+  std::int64_t fetch_increment(std::size_t) override {
+    const std::scoped_lock lock(mu_);
+    return value_++;
+  }
+  std::string name() const override { return "central-mutex"; }
+
+ private:
+  std::mutex mu_;
+  std::int64_t value_ = 0;
+};
+
+}  // namespace cnet::rt

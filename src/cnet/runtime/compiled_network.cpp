@@ -1,0 +1,110 @@
+#include "cnet/runtime/compiled_network.hpp"
+
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::rt {
+
+const char* balancer_mode_name(BalancerMode mode) noexcept {
+  return mode == BalancerMode::kFetchAdd ? "fetch-add" : "cas-retry";
+}
+
+CompiledNetwork::CompiledNetwork(const topo::Topology& net) {
+  num_nodes_ = net.num_balancers();
+  width_out_ = net.width_out();
+  nodes_ = std::make_unique<Node[]>(num_nodes_);
+
+  std::size_t total_ports = 0;
+  for (std::uint32_t b = 0; b < num_nodes_; ++b) {
+    const auto& bal = net.balancer(topo::BalancerId{b});
+    nodes_[b].fanout = static_cast<std::uint32_t>(bal.fan_out());
+    nodes_[b].route_base = static_cast<std::uint32_t>(total_ports);
+    total_ports += bal.fan_out();
+  }
+  route_.resize(total_ports);
+
+  auto encode = [&](topo::WireId wire) -> std::int32_t {
+    const auto& end = net.consumer(wire);
+    if (end.kind == topo::WireEnd::Kind::kNetworkOutput) {
+      return ~static_cast<std::int32_t>(end.port);
+    }
+    return static_cast<std::int32_t>(end.balancer.value);
+  };
+  for (std::uint32_t b = 0; b < num_nodes_; ++b) {
+    const auto& bal = net.balancer(topo::BalancerId{b});
+    for (std::size_t port = 0; port < bal.fan_out(); ++port) {
+      route_[nodes_[b].route_base + port] = encode(bal.outputs[port]);
+    }
+  }
+  entry_.reserve(net.width_in());
+  for (const topo::WireId in : net.input_wires()) {
+    entry_.push_back(encode(in));
+  }
+}
+
+namespace {
+
+// Euclidean modulo: result in [0, m) even for negative v.
+std::uint32_t euclid_mod(std::int64_t v, std::uint32_t m) noexcept {
+  const std::int64_t r = v % static_cast<std::int64_t>(m);
+  return static_cast<std::uint32_t>(r >= 0 ? r
+                                           : r + static_cast<std::int64_t>(m));
+}
+
+}  // namespace
+
+std::size_t CompiledNetwork::traverse(std::size_t input_wire,
+                                      BalancerMode mode,
+                                      std::uint64_t* stalls) noexcept {
+  std::int32_t at = entry_[input_wire];
+  while (at >= 0) {
+    Node& node = nodes_[static_cast<std::size_t>(at)];
+    std::int64_t ticket;
+    if (mode == BalancerMode::kFetchAdd) {
+      // One wait-free atomic transition; memory order relaxed is enough —
+      // the balancer state is the only datum and the RMW is atomic.
+      ticket = node.state.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // CAS loop: every failure means another token slipped through first,
+      // i.e. one stall in the Dwork-et-al. sense.
+      ticket = node.state.load(std::memory_order_relaxed);
+      while (!node.state.compare_exchange_weak(ticket, ticket + 1,
+                                               std::memory_order_relaxed)) {
+        ++*stalls;
+      }
+    }
+    at = route_[node.route_base + euclid_mod(ticket, node.fanout)];
+  }
+  return static_cast<std::size_t>(~at);
+}
+
+std::size_t CompiledNetwork::traverse_anti(std::size_t input_wire,
+                                           BalancerMode mode,
+                                           std::uint64_t* stalls) noexcept {
+  std::int32_t at = entry_[input_wire];
+  while (at >= 0) {
+    Node& node = nodes_[static_cast<std::size_t>(at)];
+    std::int64_t landed;
+    if (mode == BalancerMode::kFetchAdd) {
+      landed = node.state.fetch_sub(1, std::memory_order_relaxed) - 1;
+    } else {
+      std::int64_t cur = node.state.load(std::memory_order_relaxed);
+      while (!node.state.compare_exchange_weak(cur, cur - 1,
+                                               std::memory_order_relaxed)) {
+        ++*stalls;
+      }
+      landed = cur - 1;
+    }
+    // The antitoken leaves on the wire the state stepped back onto — the
+    // wire the most recent (now cancelled) token transition used.
+    at = route_[node.route_base + euclid_mod(landed, node.fanout)];
+  }
+  return static_cast<std::size_t>(~at);
+}
+
+void CompiledNetwork::reset() noexcept {
+  for (std::size_t b = 0; b < num_nodes_; ++b) {
+    nodes_[b].state.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace cnet::rt

@@ -1,0 +1,69 @@
+// Lock-free shared-memory realization of a balancing network (paper §1.2):
+// each balancer is a shared memory word holding the index of the wire the
+// next token leaves on; wires are routing-table entries. Tokens are threads
+// traversing the structure.
+//
+// Two balancer disciplines are provided:
+//   * kFetchAdd — the state advances with one atomic fetch_add (wait-free);
+//   * kCasRetry — a CAS loop; every failed CAS is one observed stall, the
+//     hardware analogue of the Dwork-et-al. stall measure.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cnet/topology/topology.hpp"
+#include "cnet/util/cacheline.hpp"
+
+namespace cnet::rt {
+
+enum class BalancerMode { kFetchAdd, kCasRetry };
+
+const char* balancer_mode_name(BalancerMode mode) noexcept;
+
+class CompiledNetwork {
+ public:
+  explicit CompiledNetwork(const topo::Topology& net);
+
+  CompiledNetwork(const CompiledNetwork&) = delete;
+  CompiledNetwork& operator=(const CompiledNetwork&) = delete;
+
+  std::size_t width_in() const noexcept { return entry_.size(); }
+  std::size_t width_out() const noexcept { return width_out_; }
+  std::size_t num_balancers() const noexcept { return num_nodes_; }
+
+  // Shepherds one token from `input_wire` (< width_in()) to an output wire,
+  // whose index is returned. When `mode` is kCasRetry, the number of failed
+  // CAS attempts is added to *stalls (which must be non-null in that mode).
+  std::size_t traverse(std::size_t input_wire, BalancerMode mode,
+                       std::uint64_t* stalls) noexcept;
+
+  // Shepherds one *antitoken* (Aiello et al.; paper §1.4.2): each visited
+  // balancer's state moves back by one and the antitoken leaves on the wire
+  // the state lands on — exactly undoing one token transition. Used to
+  // implement Fetch&Decrement.
+  std::size_t traverse_anti(std::size_t input_wire, BalancerMode mode,
+                            std::uint64_t* stalls) noexcept;
+
+  // Resets all balancer states to 0 (only call while quiescent).
+  void reset() noexcept;
+
+ private:
+  struct alignas(util::kCacheLine) Node {
+    // Signed: antitokens can drive the cumulative balance below zero.
+    std::atomic<std::int64_t> state{0};
+    std::uint32_t fanout = 0;
+    std::uint32_t route_base = 0;
+  };
+
+  // Route entries: >= 0 is a balancer index, negative is ~output_position.
+  std::size_t num_nodes_ = 0;
+  std::size_t width_out_ = 0;
+  std::unique_ptr<Node[]> nodes_;
+  std::vector<std::int32_t> route_;
+  std::vector<std::int32_t> entry_;
+};
+
+}  // namespace cnet::rt

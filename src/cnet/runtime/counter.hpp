@@ -1,0 +1,29 @@
+// The shared-counter abstraction (paper §1.1): concurrent objects that
+// support Fetch&Increment, handing out successive integer values. Every
+// implementation in this library — counting networks, diffracting tree,
+// central counters — implements this interface, so examples and benchmarks
+// can swap them freely.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cnet::rt {
+
+class Counter {
+ public:
+  virtual ~Counter() = default;
+
+  // Returns the next counter value. `thread_hint` identifies the calling
+  // process (used to pick the entry wire, l mod w, per paper §1.2); callers
+  // should pass a stable per-thread index.
+  virtual std::int64_t fetch_increment(std::size_t thread_hint) = 0;
+
+  virtual std::string name() const = 0;
+
+  // Total observed contention events (CAS retries / lock waits), if the
+  // implementation tracks them; 0 otherwise.
+  virtual std::uint64_t stall_count() const { return 0; }
+};
+
+}  // namespace cnet::rt

@@ -1,0 +1,59 @@
+#include "cnet/runtime/network_counter.hpp"
+
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::rt {
+
+namespace {
+constexpr std::size_t kStallSlots = 64;
+}  // namespace
+
+NetworkCounter::NetworkCounter(const topo::Topology& net, std::string label,
+                               BalancerMode mode)
+    : net_(net), label_(std::move(label)), mode_(mode),
+      cells_(net.width_out()), stalls_(kStallSlots) {
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i].value.store(static_cast<std::int64_t>(i),
+                          std::memory_order_relaxed);
+  }
+}
+
+std::int64_t NetworkCounter::fetch_increment(std::size_t thread_hint) {
+  std::uint64_t local_stalls = 0;
+  const std::size_t out =
+      net_.traverse(thread_hint % net_.width_in(), mode_, &local_stalls);
+  if (local_stalls != 0) {
+    stalls_[thread_hint % kStallSlots].value.fetch_add(
+        local_stalls, std::memory_order_relaxed);
+  }
+  // The exit cell assigns the value and advances by t (paper §1.1). One
+  // atomic RMW makes the assignment linearizable per wire.
+  return cells_[out].value.fetch_add(
+      static_cast<std::int64_t>(net_.width_out()),
+      std::memory_order_relaxed);
+}
+
+std::int64_t NetworkCounter::fetch_decrement(std::size_t thread_hint) {
+  std::uint64_t local_stalls = 0;
+  const std::size_t out =
+      net_.traverse_anti(thread_hint % net_.width_in(), mode_, &local_stalls);
+  if (local_stalls != 0) {
+    stalls_[thread_hint % kStallSlots].value.fetch_add(
+        local_stalls, std::memory_order_relaxed);
+  }
+  // Undo one cell step: the reclaimed value is the new cell content.
+  return cells_[out].value.fetch_sub(
+             static_cast<std::int64_t>(net_.width_out()),
+             std::memory_order_relaxed) -
+         static_cast<std::int64_t>(net_.width_out());
+}
+
+std::uint64_t NetworkCounter::stall_count() const {
+  std::uint64_t total = 0;
+  for (const auto& slot : stalls_) {
+    total += slot.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace cnet::rt

@@ -1,0 +1,49 @@
+// A shared Fetch&Increment counter backed by a balancing network
+// (paper §1.1): tokens traverse the network and the exit wire's cell v_i
+// (initialized to i, stepped by the output width t) assigns the value.
+// If the underlying network is a counting network, concurrent calls return
+// exactly the values 0, 1, 2, ... with no gaps or duplicates once quiescent.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cnet/runtime/compiled_network.hpp"
+#include "cnet/runtime/counter.hpp"
+#include "cnet/util/cacheline.hpp"
+
+namespace cnet::rt {
+
+class NetworkCounter final : public Counter {
+ public:
+  // `label` names the network family in benchmark output, e.g. "C(8,16)".
+  NetworkCounter(const topo::Topology& net, std::string label,
+                 BalancerMode mode = BalancerMode::kFetchAdd);
+
+  std::int64_t fetch_increment(std::size_t thread_hint) override;
+
+  // Fetch&Decrement via an antitoken (paper §1.4.2 / Aiello et al.):
+  // returns the counter value it reclaims — i.e. the value the next
+  // Fetch&Increment will hand out again. The caller must never let the
+  // outstanding count (increments minus decrements) go negative, exactly
+  // like a semaphore.
+  std::int64_t fetch_decrement(std::size_t thread_hint);
+
+  std::string name() const override { return label_; }
+  std::uint64_t stall_count() const override;
+
+  std::size_t width_in() const noexcept { return net_.width_in(); }
+  std::size_t width_out() const noexcept { return net_.width_out(); }
+
+ private:
+  CompiledNetwork net_;
+  std::string label_;
+  BalancerMode mode_;
+  std::vector<util::Padded<std::atomic<std::int64_t>>> cells_;
+  // Per-slot padded stall counters, indexed by thread hint modulo slots.
+  std::vector<util::Padded<std::atomic<std::uint64_t>>> stalls_;
+};
+
+}  // namespace cnet::rt

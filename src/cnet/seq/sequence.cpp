@@ -1,0 +1,121 @@
+#include "cnet/seq/sequence.hpp"
+
+#include <algorithm>
+
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::seq {
+
+Value sum(std::span<const Value> x) noexcept {
+  Value s = 0;
+  for (const Value v : x) s += v;
+  return s;
+}
+
+Value smoothness(std::span<const Value> x) noexcept {
+  if (x.size() < 2) return 0;
+  const auto [lo, hi] = std::minmax_element(x.begin(), x.end());
+  return *hi - *lo;
+}
+
+bool is_step(std::span<const Value> x) noexcept {
+  // Equivalent to the pairwise definition: the sequence is non-increasing
+  // and max - min <= 1.
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    const Value d = x[i - 1] - x[i];
+    if (d < 0 || d > 1) return false;
+  }
+  return x.empty() || x.front() - x.back() <= 1;
+}
+
+bool is_k_smooth(std::span<const Value> x, Value k) noexcept {
+  return smoothness(x) <= k;
+}
+
+std::size_t step_point(std::span<const Value> x) {
+  CNET_REQUIRE(!x.empty(), "step point of empty sequence");
+  CNET_REQUIRE(is_step(x), "step point requires a step sequence");
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    if (x[i] < x[i - 1]) return i;
+  }
+  return x.size();
+}
+
+Sequence make_step(std::size_t w, Value total) {
+  CNET_REQUIRE(w >= 1, "width must be positive");
+  CNET_REQUIRE(total >= 0, "token count must be nonnegative");
+  Sequence x(w);
+  const auto width = static_cast<Value>(w);
+  for (std::size_t i = 0; i < w; ++i) {
+    // ceil((total - i)/w) for total >= 0, 0 <= i < w.
+    const Value numer = total - static_cast<Value>(i);
+    x[i] = numer <= 0 ? 0 : (numer + width - 1) / width;
+  }
+  return x;
+}
+
+Sequence even_subseq(std::span<const Value> x) {
+  Sequence out;
+  out.reserve((x.size() + 1) / 2);
+  for (std::size_t i = 0; i < x.size(); i += 2) out.push_back(x[i]);
+  return out;
+}
+
+Sequence odd_subseq(std::span<const Value> x) {
+  Sequence out;
+  out.reserve(x.size() / 2);
+  for (std::size_t i = 1; i < x.size(); i += 2) out.push_back(x[i]);
+  return out;
+}
+
+Sequence first_half(std::span<const Value> x) {
+  CNET_REQUIRE(x.size() % 2 == 0, "half of odd-length sequence");
+  return Sequence(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(x.size() / 2));
+}
+
+Sequence second_half(std::span<const Value> x) {
+  CNET_REQUIRE(x.size() % 2 == 0, "half of odd-length sequence");
+  return Sequence(x.begin() + static_cast<std::ptrdiff_t>(x.size() / 2), x.end());
+}
+
+Sequence balancer_output(Value total, std::size_t q,
+                         std::size_t initial_state) {
+  CNET_REQUIRE(total >= 0, "token count must be nonnegative");
+  CNET_REQUIRE(q >= 1, "balancer fanout must be positive");
+  CNET_REQUIRE(initial_state < q, "initial state must be a valid output wire");
+  Sequence y(q, 0);
+  const auto qv = static_cast<Value>(q);
+  const Value base = total / qv;
+  const Value rem = total % qv;
+  // The first `rem` wires in rotation order starting at initial_state get
+  // one extra token.
+  for (std::size_t i = 0; i < q; ++i) {
+    const auto offset = static_cast<Value>((i + q - initial_state) % q);
+    y[i] = base + (offset < rem ? 1 : 0);
+  }
+  return y;
+}
+
+namespace {
+
+// Ceiling division for positive divisor and any dividend.
+seq::Value ceil_div_signed(seq::Value a, seq::Value b) {
+  return a / b + (a % b > 0 ? 1 : 0);
+}
+
+}  // namespace
+
+Sequence balancer_output_net(Value total, std::size_t q,
+                             std::size_t initial_state) {
+  CNET_REQUIRE(q >= 1, "balancer fanout must be positive");
+  CNET_REQUIRE(initial_state < q, "initial state must be a valid output wire");
+  Sequence y(q);
+  const auto qv = static_cast<Value>(q);
+  for (std::size_t i = 0; i < q; ++i) {
+    const auto off = static_cast<Value>((i + q - initial_state) % q);
+    y[i] = ceil_div_signed(total - off, qv);
+  }
+  return y;
+}
+
+}  // namespace cnet::seq

@@ -1,0 +1,67 @@
+// Integer-sequence toolkit (paper §2.1).
+//
+// Token distributions across wires are integer sequences x(w). The paper's
+// analysis rests on two structural properties:
+//   * step property (Def. §2.1): 0 <= x_i - x_j <= 1 for all i < j;
+//   * k-smooth property: |x_i - x_j| <= k for all i, j.
+// This module provides predicates, constructors and the even/odd/half
+// decompositions used by the recursive network constructions, together with
+// the closed forms of Eq. (1) and the balancer output rule.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cnet::seq {
+
+using Value = std::int64_t;
+using Sequence = std::vector<Value>;
+
+// Sum of all elements.
+Value sum(std::span<const Value> x) noexcept;
+
+// Max - min; 0 for empty or singleton sequences.
+Value smoothness(std::span<const Value> x) noexcept;
+
+// Step property: 0 <= x_i - x_j <= 1 for every i < j.
+bool is_step(std::span<const Value> x) noexcept;
+
+// k-smooth property: |x_i - x_j| <= k for all i, j.
+bool is_k_smooth(std::span<const Value> x, Value k) noexcept;
+
+// Step point of a step sequence (paper §2.1): the unique index i with
+// x_i < x_{i-1}, or w if all elements are equal. Requires is_step(x) and a
+// nonempty sequence.
+std::size_t step_point(std::span<const Value> x);
+
+// The unique step sequence of length w with the given sum (Eq. (1)):
+// x_i = ceil((total - i) / w). Requires w >= 1 and total >= 0.
+Sequence make_step(std::size_t w, Value total);
+
+// Even-index / odd-index subsequences (x_0,x_2,... and x_1,x_3,...).
+Sequence even_subseq(std::span<const Value> x);
+Sequence odd_subseq(std::span<const Value> x);
+
+// First/second half; require even length.
+Sequence first_half(std::span<const Value> x);
+Sequence second_half(std::span<const Value> x);
+
+// Output of a (p,q)-balancer that has processed `total` tokens starting
+// from `initial_state` (the output wire the next token would leave on):
+// output wire i receives |{ j in [0,total) : (initial_state + j) mod q == i }|.
+// With initial_state == 0 this is the step sequence of Eq. (1).
+Sequence balancer_output(Value total, std::size_t q,
+                         std::size_t initial_state = 0);
+
+// Net balancer output for a possibly negative token balance (tokens minus
+// antitokens; Aiello et al., "Supporting increment and decrement operations
+// in balancing networks"). An antitoken reverses one balancer transition:
+// it moves the state back by one and exits on the wire it lands on. The net
+// count on output wire i is ceil((total - off_i)/q) with
+// off_i = (i - initial_state) mod q — Eq. (1) extended to negative totals.
+// Equals balancer_output when total >= 0.
+Sequence balancer_output_net(Value total, std::size_t q,
+                             std::size_t initial_state = 0);
+
+}  // namespace cnet::seq

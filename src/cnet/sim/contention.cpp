@@ -1,0 +1,54 @@
+#include "cnet/sim/contention.hpp"
+
+#include <algorithm>
+
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::sim {
+
+ContentionReport measure_contention(const topo::Topology& net,
+                                    const ContentionConfig& cfg) {
+  CNET_REQUIRE(cfg.concurrency >= 1, "need at least one process");
+  SimConfig sim_cfg;
+  sim_cfg.concurrency = cfg.concurrency;
+  sim_cfg.total_tokens =
+      std::max(cfg.generations * cfg.concurrency, cfg.min_tokens);
+  sim_cfg.collect_counter_values = false;
+  sim_cfg.collect_per_balancer = true;
+
+  auto sched = make_scheduler(cfg.scheduler, cfg.seed);
+  const SimResult res = simulate(net, sim_cfg, *sched);
+
+  ContentionReport report;
+  report.total_stalls = res.total_stalls;
+  report.tokens = res.tokens;
+  report.stalls_per_token = res.stalls_per_token;
+  report.max_queue = res.max_queue;
+  report.per_layer.reserve(res.stalls_per_layer.size());
+  for (const std::uint64_t s : res.stalls_per_layer) {
+    report.per_layer.push_back(static_cast<double>(s) /
+                               static_cast<double>(res.tokens));
+  }
+  return report;
+}
+
+std::vector<GroupStalls> group_stalls(
+    std::span<const double> per_layer,
+    std::span<const std::string> layer_group) {
+  CNET_REQUIRE(per_layer.size() == layer_group.size(),
+               "layer group labels must cover every layer");
+  std::vector<GroupStalls> out;
+  for (std::size_t d = 0; d < per_layer.size(); ++d) {
+    auto it = std::find_if(out.begin(), out.end(), [&](const GroupStalls& g) {
+      return g.group == layer_group[d];
+    });
+    if (it == out.end()) {
+      out.push_back({layer_group[d], per_layer[d]});
+    } else {
+      it->stalls_per_token += per_layer[d];
+    }
+  }
+  return out;
+}
+
+}  // namespace cnet::sim

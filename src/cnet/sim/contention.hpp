@@ -1,0 +1,49 @@
+// Amortized-contention measurement harness (paper §6).
+//
+// cont(B, n) is the limit supremum of stalls/m as m → ∞; we approximate it
+// by running m = generations·n tokens (several full "waves" of concurrency)
+// and discarding nothing — with eager re-injection the measure converges
+// quickly because stalls are produced at a steady per-generation rate.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cnet/sim/schedulers.hpp"
+#include "cnet/sim/token_sim.hpp"
+#include "cnet/topology/topology.hpp"
+
+namespace cnet::sim {
+
+struct ContentionConfig {
+  std::size_t concurrency = 1;  // n
+  std::size_t generations = 32;  // m = max(generations * n, min_tokens)
+  std::size_t min_tokens = 1024;
+  SchedulerKind scheduler = SchedulerKind::kWavefrontConvoy;
+  std::uint64_t seed = 1998;
+};
+
+struct ContentionReport {
+  double stalls_per_token = 0.0;
+  std::uint64_t total_stalls = 0;
+  std::size_t tokens = 0;
+  std::size_t max_queue = 0;
+  // Stalls per token charged to each layer (index 0 = layer 1).
+  std::vector<double> per_layer;
+};
+
+ContentionReport measure_contention(const topo::Topology& net,
+                                    const ContentionConfig& cfg);
+
+// Aggregates a per-layer breakdown into labelled groups; `layer_group[d]`
+// names the group of layer d+1 (e.g. the N_a/N_b/N_c blocks of C(w,t)).
+struct GroupStalls {
+  std::string group;
+  double stalls_per_token = 0.0;
+};
+std::vector<GroupStalls> group_stalls(std::span<const double> per_layer,
+                                      std::span<const std::string> layer_group);
+
+}  // namespace cnet::sim

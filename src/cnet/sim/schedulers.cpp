@@ -1,0 +1,111 @@
+#include "cnet/sim/schedulers.hpp"
+
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::sim {
+
+std::uint32_t RandomScheduler::pick() {
+  const auto& ready = view_->nonempty();
+  CNET_ENSURE(!ready.empty(), "pick() with no waiting tokens");
+  return ready[rng_.below(ready.size())];
+}
+
+std::uint32_t RoundRobinScheduler::pick() {
+  const auto& ready = view_->nonempty();
+  CNET_ENSURE(!ready.empty(), "pick() with no waiting tokens");
+  cursor_ = (cursor_ + 1) % ready.size();
+  return ready[cursor_];
+}
+
+void WavefrontConvoyScheduler::attach(const EngineView& view) {
+  Scheduler::attach(view);
+  bucket_.clear();
+  present_.assign(view.num_balancers(), false);
+  lowest_ = 0;
+  std::size_t max_layer = 0;
+  for (std::uint32_t b = 0; b < view.num_balancers(); ++b) {
+    max_layer = std::max<std::size_t>(max_layer, view.layer_of(b));
+  }
+  bucket_.resize(max_layer + 1);
+}
+
+void WavefrontConvoyScheduler::on_enqueue(std::uint32_t balancer) {
+  if (present_[balancer]) return;
+  present_[balancer] = true;
+  const std::size_t layer = view_->layer_of(balancer);
+  bucket_[layer].push_back(balancer);
+  lowest_ = std::min(lowest_, layer);
+}
+
+std::uint32_t WavefrontConvoyScheduler::pick() {
+  for (std::size_t layer = lowest_; layer < bucket_.size(); ++layer) {
+    auto& b = bucket_[layer];
+    while (!b.empty()) {
+      const std::uint32_t candidate = b.back();
+      if (view_->queue_size(candidate) == 0) {
+        // Lazily drop balancers that drained since being enqueued.
+        present_[candidate] = false;
+        b.pop_back();
+        continue;
+      }
+      lowest_ = layer;
+      if (view_->queue_size(candidate) == 1) {
+        // Its last waiter is about to fire; unregister so the slot is
+        // re-added on the next arrival.
+        present_[candidate] = false;
+        b.pop_back();
+      }
+      return candidate;
+    }
+  }
+  CNET_ENSURE(false, "pick() with no waiting tokens");
+  return 0;  // unreachable
+}
+
+std::uint32_t GreedyMaxQueueScheduler::pick() {
+  const auto& ready = view_->nonempty();
+  CNET_ENSURE(!ready.empty(), "pick() with no waiting tokens");
+  std::uint32_t best = ready.front();
+  std::uint32_t best_queue = view_->queue_size(best);
+  for (const std::uint32_t b : ready) {
+    const std::uint32_t q = view_->queue_size(b);
+    if (q > best_queue) {
+      best = b;
+      best_queue = q;
+    }
+  }
+  return best;
+}
+
+std::uint32_t ScriptScheduler::pick() {
+  CNET_REQUIRE(next_ < script_.size(), "scheduler script exhausted");
+  return script_[next_++];
+}
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
+                                          std::uint64_t seed) {
+  switch (kind) {
+    case SchedulerKind::kRandom:
+      return std::make_unique<RandomScheduler>(seed);
+    case SchedulerKind::kRoundRobin:
+      return std::make_unique<RoundRobinScheduler>();
+    case SchedulerKind::kWavefrontConvoy:
+      return std::make_unique<WavefrontConvoyScheduler>();
+    case SchedulerKind::kGreedyMaxQueue:
+      return std::make_unique<GreedyMaxQueueScheduler>();
+  }
+  CNET_ENSURE(false, "unknown scheduler kind");
+  return nullptr;  // unreachable
+}
+
+const char* scheduler_name(SchedulerKind kind) noexcept {
+  switch (kind) {
+    case SchedulerKind::kRandom: return "random";
+    case SchedulerKind::kRoundRobin: return "round-robin";
+    case SchedulerKind::kWavefrontConvoy: return "wavefront-convoy";
+    case SchedulerKind::kGreedyMaxQueue: return "greedy-max-queue";
+  }
+  return "?";
+}
+
+}  // namespace cnet::sim

@@ -1,0 +1,88 @@
+// Scheduling policies for the token simulator.
+//
+// The amortized-contention measure is adversarial (paper §1.2): the bound of
+// Theorem 6.7 holds for *every* schedule. We provide:
+//   * RandomScheduler      — a neutral baseline (uniform over waiting work);
+//   * RoundRobinScheduler  — fair rotation, minimal convoys;
+//   * WavefrontConvoyScheduler — adversarial heuristic: always fire the
+//     shallowest nonempty layer, draining one balancer at a time. Tokens
+//     accumulate at the next layer while the current one drains, producing
+//     the generation convoys of the paper's layer-contention analysis
+//     (§6.2): a layer of width W hit by a wave of n tokens suffers ≈ n²/2W
+//     stalls, i.e. n/2W per token per layer — the exact shape of the
+//     Theorem 6.7 terms.
+#pragma once
+
+#include <vector>
+
+#include "cnet/sim/token_sim.hpp"
+#include "cnet/util/prng.hpp"
+
+namespace cnet::sim {
+
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
+  std::uint32_t pick() override;
+
+ private:
+  util::Xoshiro256 rng_;
+};
+
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  std::uint32_t pick() override;
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+class WavefrontConvoyScheduler final : public Scheduler {
+ public:
+  void attach(const EngineView& view) override;
+  void on_enqueue(std::uint32_t balancer) override;
+  std::uint32_t pick() override;
+
+ private:
+  std::vector<std::vector<std::uint32_t>> bucket_;  // per layer, LIFO
+  std::vector<bool> present_;                       // balancer in a bucket?
+  std::size_t lowest_ = 0;                          // scan hint
+};
+
+// Greedy adversary: always fires the balancer with the most waiters —
+// maximizes the *immediate* stall count (a natural but weaker adversary
+// than the wavefront convoy, which invests in building future queues).
+class GreedyMaxQueueScheduler final : public Scheduler {
+ public:
+  std::uint32_t pick() override;
+};
+
+// Deterministic replay: fires the given balancer indices in order. For
+// constructing exact executions in unit tests (each entry must name a
+// balancer that has a waiting token at that point).
+class ScriptScheduler final : public Scheduler {
+ public:
+  explicit ScriptScheduler(std::vector<std::uint32_t> script)
+      : script_(std::move(script)) {}
+  std::uint32_t pick() override;
+  std::size_t consumed() const noexcept { return next_; }
+
+ private:
+  std::vector<std::uint32_t> script_;
+  std::size_t next_ = 0;
+};
+
+enum class SchedulerKind {
+  kRandom,
+  kRoundRobin,
+  kWavefrontConvoy,
+  kGreedyMaxQueue,
+};
+
+// Factory used by benches/tests.
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
+                                          std::uint64_t seed);
+
+const char* scheduler_name(SchedulerKind kind) noexcept;
+
+}  // namespace cnet::sim

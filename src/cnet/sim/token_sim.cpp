@@ -1,0 +1,231 @@
+#include "cnet/sim/token_sim.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::sim {
+
+namespace {
+
+constexpr std::uint32_t kNone = std::numeric_limits<std::uint32_t>::max();
+
+// Routing target: either a balancer or a network output slot.
+struct Target {
+  bool is_output = false;
+  std::uint32_t index = 0;  // balancer index or output position
+};
+
+struct Token {
+  std::uint32_t process = 0;
+  std::uint32_t record = 0;  // index into token_records when enabled
+};
+
+class Engine final : public EngineView {
+ public:
+  Engine(const topo::Topology& net, const SimConfig& cfg)
+      : net_(net), cfg_(cfg) {
+    CNET_REQUIRE(cfg.concurrency >= 1, "need at least one process");
+    CNET_REQUIRE(cfg.total_tokens >= 1, "need at least one token");
+    compile();
+  }
+
+  // --- EngineView ---
+  std::size_t num_balancers() const override { return q_.size(); }
+  std::uint32_t queue_size(std::uint32_t b) const override {
+    return static_cast<std::uint32_t>(queues_[b].size());
+  }
+  std::uint32_t layer_of(std::uint32_t b) const override { return layer_[b]; }
+  const std::vector<std::uint32_t>& nonempty() const override {
+    return nonempty_;
+  }
+
+  SimResult run(Scheduler& sched) {
+    sched.attach(*this);
+    SimResult res;
+    res.tokens = cfg_.total_tokens;
+    if (cfg_.collect_per_balancer) {
+      res.stalls_per_balancer.assign(q_.size(), 0);
+      res.stalls_per_layer.assign(net_.depth(), 0);
+    }
+    if (cfg_.collect_counter_values) {
+      res.counter_values.reserve(cfg_.total_tokens);
+    }
+    if (cfg_.collect_token_records) {
+      res.token_records.reserve(cfg_.total_tokens);
+    }
+    res.input_counts.assign(net_.width_in(), 0);
+    res.output_counts.assign(net_.width_out(), 0);
+
+    // Counter cells v_i = i, stepped by t on each exit (paper §1.1).
+    std::vector<seq::Value> cell(net_.width_out());
+    for (std::size_t i = 0; i < cell.size(); ++i) {
+      cell[i] = static_cast<seq::Value>(i);
+    }
+    const auto t_out = static_cast<seq::Value>(net_.width_out());
+
+    // Inject the first token of every process (each process has at most one
+    // token in flight; injection is eager).
+    std::size_t injected = 0;
+    std::size_t exited = 0;
+    auto inject = [&](std::uint32_t process) {
+      if (injected == cfg_.total_tokens) return;
+      ++injected;
+      const std::size_t wire_pos = process % net_.width_in();
+      ++res.input_counts[wire_pos];
+      Token tok{process, 0};
+      if (cfg_.collect_token_records) {
+        tok.record = static_cast<std::uint32_t>(res.token_records.size());
+        res.token_records.push_back(
+            TokenRecord{process, step_count_, 0, 0});
+      }
+      deliver(entry_[wire_pos], tok, sched, res, cell, t_out, exited);
+    };
+    const std::size_t first_wave =
+        std::min(cfg_.concurrency, cfg_.total_tokens);
+    for (std::uint32_t p = 0; p < first_wave; ++p) inject(p);
+
+    // Main loop: fire scheduler-chosen balancers until all tokens exited.
+    while (exited < cfg_.total_tokens) {
+      CNET_ENSURE(!nonempty_.empty(),
+                  "no waiting tokens but simulation not finished");
+      const std::uint32_t b = sched.pick();
+      CNET_ENSURE(b < q_.size() && !queues_[b].empty(),
+                  "scheduler picked an empty balancer");
+      ++step_count_;
+      // One atomic transition: FIFO head passes, every other waiter stalls.
+      const auto waiters =
+          static_cast<std::uint64_t>(queues_[b].size()) - 1;
+      res.total_stalls += waiters;
+      if (cfg_.collect_per_balancer) {
+        res.stalls_per_balancer[b] += waiters;
+        res.stalls_per_layer[layer_[b] - 1] += waiters;
+      }
+      const Token tok = queues_[b].front();
+      queues_[b].pop_front();
+      if (queues_[b].empty()) remove_nonempty(b);
+      const std::uint32_t port = state_[b];
+      state_[b] = (state_[b] + 1) % q_[b];
+      const Target& next = route_[route_base_[b] + port];
+      if (next.is_output) {
+        exit_token(tok, next.index, res, cell, t_out, exited);
+        inject(tok.process);  // process immediately shepherds its next token
+      } else {
+        enqueue(next.index, tok, sched, res);
+      }
+    }
+    res.stalls_per_token = static_cast<double>(res.total_stalls) /
+                           static_cast<double>(res.tokens);
+    return res;
+  }
+
+ private:
+  void compile() {
+    const std::size_t nb = net_.num_balancers();
+    q_.resize(nb);
+    state_.assign(nb, 0);
+    layer_.resize(nb);
+    route_base_.resize(nb);
+    queues_.assign(nb, {});
+    pos_in_nonempty_.assign(nb, kNone);
+    std::size_t total_ports = 0;
+    for (std::uint32_t b = 0; b < nb; ++b) {
+      const auto& bal = net_.balancer(topo::BalancerId{b});
+      q_[b] = static_cast<std::uint32_t>(bal.fan_out());
+      layer_[b] = static_cast<std::uint32_t>(
+          net_.balancer_depth(topo::BalancerId{b}));
+      route_base_[b] = static_cast<std::uint32_t>(total_ports);
+      total_ports += bal.fan_out();
+    }
+    route_.resize(total_ports);
+    auto target_of = [&](topo::WireId wire) {
+      const auto& end = net_.consumer(wire);
+      if (end.kind == topo::WireEnd::Kind::kNetworkOutput) {
+        return Target{true, end.port};
+      }
+      return Target{false, end.balancer.value};
+    };
+    for (std::uint32_t b = 0; b < nb; ++b) {
+      const auto& bal = net_.balancer(topo::BalancerId{b});
+      for (std::size_t port = 0; port < bal.fan_out(); ++port) {
+        route_[route_base_[b] + port] = target_of(bal.outputs[port]);
+      }
+    }
+    entry_.reserve(net_.width_in());
+    for (const topo::WireId in : net_.input_wires()) {
+      entry_.push_back(target_of(in));
+    }
+  }
+
+  void deliver(const Target& target, Token tok, Scheduler& sched,
+               SimResult& res, std::vector<seq::Value>& cell,
+               seq::Value t_out, std::size_t& exited) {
+    if (target.is_output) {
+      // Degenerate wire straight to an output (e.g. width-1 networks).
+      exit_token(tok, target.index, res, cell, t_out, exited);
+    } else {
+      enqueue(target.index, tok, sched, res);
+    }
+  }
+
+  void exit_token(Token tok, std::uint32_t out_pos, SimResult& res,
+                  std::vector<seq::Value>& cell, seq::Value t_out,
+                  std::size_t& exited) {
+    if (cfg_.collect_counter_values) {
+      res.counter_values.push_back(cell[out_pos]);
+    }
+    if (cfg_.collect_token_records) {
+      res.token_records[tok.record].exit_step = step_count_;
+      res.token_records[tok.record].value = cell[out_pos];
+    }
+    cell[out_pos] += t_out;
+    ++res.output_counts[out_pos];
+    ++exited;
+  }
+
+  void enqueue(std::uint32_t b, Token tok, Scheduler& sched, SimResult& res) {
+    queues_[b].push_back(tok);
+    if (queues_[b].size() == 1) add_nonempty(b);
+    res.max_queue = std::max(res.max_queue, queues_[b].size());
+    sched.on_enqueue(b);
+  }
+
+  void add_nonempty(std::uint32_t b) {
+    pos_in_nonempty_[b] = static_cast<std::uint32_t>(nonempty_.size());
+    nonempty_.push_back(b);
+  }
+
+  void remove_nonempty(std::uint32_t b) {
+    const std::uint32_t pos = pos_in_nonempty_[b];
+    const std::uint32_t last = nonempty_.back();
+    nonempty_[pos] = last;
+    pos_in_nonempty_[last] = pos;
+    nonempty_.pop_back();
+    pos_in_nonempty_[b] = kNone;
+  }
+
+  const topo::Topology& net_;
+  const SimConfig cfg_;
+  std::vector<std::uint32_t> q_;           // fanout per balancer
+  std::vector<std::uint32_t> state_;       // next output port per balancer
+  std::vector<std::uint32_t> layer_;       // depth per balancer
+  std::vector<std::uint32_t> route_base_;  // offset into route_
+  std::vector<Target> route_;              // per output port
+  std::vector<Target> entry_;              // per network input wire
+  std::vector<std::deque<Token>> queues_;
+  std::vector<std::uint32_t> nonempty_;
+  std::vector<std::uint32_t> pos_in_nonempty_;
+  std::uint64_t step_count_ = 0;  // global balancer transitions so far
+};
+
+}  // namespace
+
+SimResult simulate(const topo::Topology& net, const SimConfig& cfg,
+                   Scheduler& scheduler) {
+  Engine engine(net, cfg);
+  return engine.run(scheduler);
+}
+
+}  // namespace cnet::sim

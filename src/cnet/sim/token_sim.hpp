@@ -1,0 +1,91 @@
+// Token-level execution simulator with Dwork–Herlihy–Waarts stall
+// accounting (paper §1.2, §6.1).
+//
+// Model: n asynchronous processes each shepherd one token at a time through
+// the network; the token of process l enters on input wire l mod w. An
+// adversary scheduler decides, at every step, which balancer performs its
+// next atomic transition. Every transition of a token through a balancer
+// incurs one stall on each other token currently waiting at that balancer.
+// The amortized contention is total stalls divided by the number of tokens,
+// for m large — exactly the measure the paper's Theorem 6.7 bounds.
+//
+// Exiting tokens are assigned counter values from the per-output-wire cells
+// v_i (initially i, incremented by t), so a simulation doubles as an
+// end-to-end Fetch&Increment correctness check: with m tokens the multiset
+// of assigned values must be exactly {0, ..., m-1}.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cnet/seq/sequence.hpp"
+#include "cnet/topology/topology.hpp"
+
+namespace cnet::sim {
+
+struct SimConfig {
+  std::size_t concurrency = 1;       // n: number of processes
+  std::size_t total_tokens = 0;      // m: tokens to push through (>= 1)
+  bool collect_counter_values = true;
+  bool collect_per_balancer = true;
+  bool collect_token_records = false;  // per-token intervals (see below)
+};
+
+// Interval record of one token: it was injected after `enter_step` balancer
+// transitions had happened globally, exited at `exit_step`, and was
+// assigned `value`. Two tokens with exit_i < enter_j are non-overlapping
+// (j started strictly after i finished) — the raw material for
+// linearizability analyses (paper §1.4.2: counting networks order
+// concurrent tokens correctly at quiescence but are NOT linearizable).
+struct TokenRecord {
+  std::uint32_t process = 0;
+  std::uint64_t enter_step = 0;
+  std::uint64_t exit_step = 0;
+  seq::Value value = 0;
+};
+
+struct SimResult {
+  std::uint64_t total_stalls = 0;
+  std::size_t tokens = 0;
+  double stalls_per_token = 0.0;
+  std::size_t max_queue = 0;  // worst instantaneous waiters at one balancer
+  std::vector<std::uint64_t> stalls_per_balancer;  // if collect_per_balancer
+  std::vector<std::uint64_t> stalls_per_layer;     // if collect_per_balancer
+  std::vector<seq::Value> counter_values;  // if collect_counter_values
+  std::vector<TokenRecord> token_records;  // if collect_token_records
+  seq::Sequence input_counts;              // tokens injected per input wire
+  seq::Sequence output_counts;             // tokens that left each output
+};
+
+// Read-only view of engine state offered to schedulers.
+class EngineView {
+ public:
+  virtual ~EngineView() = default;
+  virtual std::size_t num_balancers() const = 0;
+  virtual std::uint32_t queue_size(std::uint32_t balancer) const = 0;
+  virtual std::uint32_t layer_of(std::uint32_t balancer) const = 0;
+  // Balancers with at least one waiting token (unordered).
+  virtual const std::vector<std::uint32_t>& nonempty() const = 0;
+};
+
+// Adversary/fair scheduling policy. The engine calls on_enqueue for every
+// token arrival (including re-arrivals at a nonempty queue) and pick() when
+// it needs the next balancer to fire; pick() must return a balancer with a
+// nonempty queue.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual void attach(const EngineView& view) { view_ = &view; }
+  virtual void on_enqueue(std::uint32_t balancer) { (void)balancer; }
+  virtual std::uint32_t pick() = 0;
+
+ protected:
+  const EngineView* view_ = nullptr;
+};
+
+// Runs the simulation to quiescence (all m tokens exited).
+SimResult simulate(const topo::Topology& net, const SimConfig& cfg,
+                   Scheduler& scheduler);
+
+}  // namespace cnet::sim

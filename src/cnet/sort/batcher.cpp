@@ -1,0 +1,40 @@
+#include "cnet/sort/batcher.hpp"
+
+#include <numeric>
+
+#include "cnet/util/bitops.hpp"
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::sort {
+
+ComparatorSchedule make_batcher_bitonic(std::size_t w) {
+  CNET_REQUIRE(w >= 2 && util::is_pow2(w),
+               "bitonic sorter width must be a power of two >= 2");
+  ComparatorSchedule s;
+  s.lanes = w;
+  s.output_perm.resize(w);
+  std::iota(s.output_perm.begin(), s.output_perm.end(), 0);
+  // Standard bitonic stages, with directions flipped so the result is
+  // descending (to match the balancing-network convention of excess on
+  // upper wires).
+  for (std::size_t k = 2; k <= w; k *= 2) {
+    for (std::size_t j = k / 2; j > 0; j /= 2) {
+      ++s.depth;
+      for (std::size_t i = 0; i < w; ++i) {
+        const std::size_t l = i ^ j;
+        if (l <= i) continue;
+        if ((i & k) == 0) {
+          // descending pair: larger value to the lower index
+          s.comparators.push_back({static_cast<std::uint32_t>(i),
+                                   static_cast<std::uint32_t>(l)});
+        } else {
+          s.comparators.push_back({static_cast<std::uint32_t>(l),
+                                   static_cast<std::uint32_t>(i)});
+        }
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace cnet::sort

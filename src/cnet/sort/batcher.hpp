@@ -1,0 +1,14 @@
+// Batcher's bitonic sorting network (Batcher, AFIPS'68) as a
+// ComparatorSchedule — the classical depth-(lg²w+lgw)/2 sorter we compare
+// the C(w,w)-derived sorter against (paper §7 makes the connection: the
+// bitonic *counting* network is the balancing analogue of this sorter).
+#pragma once
+
+#include "cnet/sort/comparator_net.hpp"
+
+namespace cnet::sort {
+
+// Descending bitonic sorter for w = 2^k lanes (identity output permutation).
+ComparatorSchedule make_batcher_bitonic(std::size_t w);
+
+}  // namespace cnet::sort

@@ -1,0 +1,86 @@
+#include "cnet/sort/comparator_net.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cnet/util/prng.hpp"
+
+namespace cnet::sort {
+
+ComparatorSchedule schedule_from_topology(const topo::Topology& net) {
+  CNET_REQUIRE(net.width_in() == net.width_out(),
+               "comparator networks need equal input/output width");
+  ComparatorSchedule s;
+  s.lanes = net.width_in();
+  s.depth = net.depth();
+  s.comparators.reserve(net.num_balancers());
+
+  // lane_of[wire] — assigned as wires are produced, in topological order.
+  std::vector<std::uint32_t> lane_of(net.num_wires(),
+                                     ~static_cast<std::uint32_t>(0));
+  for (std::uint32_t i = 0; i < net.width_in(); ++i) {
+    lane_of[net.input_wires()[i].value] = i;
+  }
+  for (std::uint32_t b = 0; b < net.num_balancers(); ++b) {
+    const auto& bal = net.balancer(topo::BalancerId{b});
+    CNET_REQUIRE(bal.fan_in() == 2 && bal.fan_out() == 2,
+                 "comparator substitution needs (2,2)-balancers only");
+    const std::uint32_t top = lane_of[bal.inputs[0].value];
+    const std::uint32_t bottom = lane_of[bal.inputs[1].value];
+    CNET_ENSURE(top != ~0u && bottom != ~0u, "unassigned input lane");
+    // Balancer output port 0 is the "upper" wire: excess tokens (and hence
+    // the larger value) go there.
+    s.comparators.push_back({top, bottom});
+    lane_of[bal.outputs[0].value] = top;
+    lane_of[bal.outputs[1].value] = bottom;
+  }
+  s.output_perm.reserve(net.width_out());
+  for (const topo::WireId out : net.output_wires()) {
+    CNET_ENSURE(lane_of[out.value] != ~0u, "unassigned output lane");
+    s.output_perm.push_back(lane_of[out.value]);
+  }
+  // The output map must be a permutation of the lanes.
+  std::vector<std::uint32_t> check = s.output_perm;
+  std::sort(check.begin(), check.end());
+  for (std::uint32_t i = 0; i < check.size(); ++i) {
+    CNET_ENSURE(check[i] == i, "output lanes are not a permutation");
+  }
+  return s;
+}
+
+namespace {
+
+bool is_descending(std::span<const int> v) {
+  return std::is_sorted(v.begin(), v.end(), std::greater<>());
+}
+
+}  // namespace
+
+bool sorts_all_01(const ComparatorSchedule& s) {
+  CNET_REQUIRE(s.lanes <= 22, "0-1 exhaustion limited to 22 lanes");
+  const std::size_t limit = std::size_t{1} << s.lanes;
+  for (std::size_t mask = 0; mask < limit; ++mask) {
+    std::vector<int> v(s.lanes);
+    for (std::size_t i = 0; i < s.lanes; ++i) {
+      v[i] = (mask >> i) & 1u ? 1 : 0;
+    }
+    if (!is_descending(apply(s, std::move(v)))) return false;
+  }
+  return true;
+}
+
+bool sorts_random(const ComparatorSchedule& s, std::size_t trials,
+                  std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::vector<int> v(s.lanes);
+    std::iota(v.begin(), v.end(), 0);
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[rng.below(i)]);
+    }
+    if (!is_descending(apply(s, std::move(v)))) return false;
+  }
+  return true;
+}
+
+}  // namespace cnet::sort

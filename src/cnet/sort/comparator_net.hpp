@@ -1,0 +1,70 @@
+// Comparator networks from balancing networks (paper §7).
+//
+// Replacing every (2,2)-balancer of a regular balancing network by a
+// comparator (max on the top output, min on the bottom — mirroring "excess
+// tokens emerge on the upper wires") yields a comparator network, and if
+// the balancing network counts, the comparator network sorts [AHS'94].
+// Hence C(w,w) gives a novel O(lg²w)-depth sorting network (descending).
+//
+// A Topology is lowered to a flat ComparatorSchedule: input wire i starts
+// on lane i, each balancer compares its two lanes in place, and the output
+// permutation says which lane ends up at each output position.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cnet/topology/topology.hpp"
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::sort {
+
+struct Comparator {
+  std::uint32_t max_lane = 0;  // receives the larger value
+  std::uint32_t min_lane = 0;  // receives the smaller value
+};
+
+struct ComparatorSchedule {
+  std::size_t lanes = 0;
+  std::size_t depth = 0;  // number of comparator layers
+  std::vector<Comparator> comparators;    // in topological order
+  std::vector<std::uint32_t> output_perm; // output position -> lane
+};
+
+// Lowers a regular, (2,2)-balancer-only topology. Throws on any other shape.
+ComparatorSchedule schedule_from_topology(const topo::Topology& net);
+
+// Runs the comparators in place over `lanes` values (no output permutation).
+template <class T>
+void apply_in_place(const ComparatorSchedule& s, std::span<T> values) {
+  CNET_REQUIRE(values.size() == s.lanes, "value count != lane count");
+  for (const Comparator& c : s.comparators) {
+    T& hi = values[c.max_lane];
+    T& lo = values[c.min_lane];
+    if (hi < lo) std::swap(hi, lo);
+  }
+}
+
+// Full application including the output permutation.
+template <class T>
+std::vector<T> apply(const ComparatorSchedule& s, std::vector<T> values) {
+  apply_in_place(s, std::span<T>(values));
+  std::vector<T> out;
+  out.reserve(values.size());
+  for (const std::uint32_t lane : s.output_perm) {
+    out.push_back(values[lane]);
+  }
+  return out;
+}
+
+// 0-1 principle check: the schedule sorts every input iff it sorts all 2^w
+// 0-1 inputs into descending order. Exhaustive; use only for lanes <= ~22.
+bool sorts_all_01(const ComparatorSchedule& s);
+
+// Spot check on random permutations (for widths too large for 0-1
+// exhaustion); returns true when all trials come out descending.
+bool sorts_random(const ComparatorSchedule& s, std::size_t trials,
+                  std::uint64_t seed);
+
+}  // namespace cnet::sort

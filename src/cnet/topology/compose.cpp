@@ -1,0 +1,81 @@
+#include "cnet/topology/compose.hpp"
+
+#include <vector>
+
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::topo {
+
+namespace {
+
+// Replays `net`'s balancers into `builder`, with `inputs` standing in for
+// the network's input wires. Returns the wires standing in for the
+// network's outputs. Balancer storage order is topological, so a single
+// pass suffices.
+std::vector<WireId> replay(Builder& builder, const Topology& net,
+                           std::span<const WireId> inputs) {
+  CNET_ENSURE(inputs.size() == net.width_in(), "replay width mismatch");
+  std::vector<WireId> map(net.num_wires(), kInvalidWire);
+  for (std::size_t i = 0; i < net.width_in(); ++i) {
+    map[net.input_wires()[i].value] = inputs[i];
+  }
+  for (std::uint32_t b = 0; b < net.num_balancers(); ++b) {
+    const auto& bal = net.balancer(BalancerId{b});
+    std::vector<WireId> ins;
+    ins.reserve(bal.fan_in());
+    for (const WireId in : bal.inputs) {
+      CNET_ENSURE(is_valid(map[in.value]), "replay out of order");
+      ins.push_back(map[in.value]);
+    }
+    const auto outs = builder.add_balancer(ins, bal.fan_out());
+    for (std::size_t port = 0; port < outs.size(); ++port) {
+      map[bal.outputs[port].value] = outs[port];
+    }
+  }
+  std::vector<WireId> outputs;
+  outputs.reserve(net.width_out());
+  for (const WireId out : net.output_wires()) {
+    CNET_ENSURE(is_valid(map[out.value]), "unmapped output wire");
+    outputs.push_back(map[out.value]);
+  }
+  return outputs;
+}
+
+}  // namespace
+
+Topology cascade(const Topology& first, const Topology& second) {
+  CNET_REQUIRE(first.width_out() == second.width_in(),
+               "cascade width mismatch");
+  Builder b;
+  const auto in = b.add_network_inputs(first.width_in());
+  const auto mid = replay(b, first, in);
+  const auto out = replay(b, second, mid);
+  b.set_outputs(out);
+  return std::move(b).build();
+}
+
+Topology cascade_n(const Topology& net, std::size_t times) {
+  CNET_REQUIRE(times >= 1, "cascade_n needs at least one copy");
+  CNET_REQUIRE(net.width_in() == net.width_out(),
+               "cascade_n needs equal input/output width");
+  Builder b;
+  std::vector<WireId> wires = b.add_network_inputs(net.width_in());
+  for (std::size_t i = 0; i < times; ++i) {
+    wires = replay(b, net, wires);
+  }
+  b.set_outputs(wires);
+  return std::move(b).build();
+}
+
+Topology stack(const Topology& top, const Topology& bottom) {
+  Builder b;
+  const auto in_top = b.add_network_inputs(top.width_in());
+  const auto in_bottom = b.add_network_inputs(bottom.width_in());
+  auto out = replay(b, top, in_top);
+  const auto out_bottom = replay(b, bottom, in_bottom);
+  out.insert(out.end(), out_bottom.begin(), out_bottom.end());
+  b.set_outputs(out);
+  return std::move(b).build();
+}
+
+}  // namespace cnet::topo

@@ -1,0 +1,28 @@
+// Structural composition of balancing networks.
+//
+// Balancing networks compose: the cascade of two counting networks counts,
+// the cascade of a k-smoothing and an l-smoothing network is l-smoothing,
+// and the parallel stack of two networks balances each half independently.
+// The periodic network (lg w cascaded blocks) is the canonical cascade; the
+// recursive constructions use stacks implicitly. These helpers rebuild a
+// fresh Topology, so composites are first-class networks usable everywhere
+// (simulator, runtime, sorting, DOT export).
+#pragma once
+
+#include "cnet/topology/topology.hpp"
+
+namespace cnet::topo {
+
+// Feeds every output of `first` into the same-position input of `second`.
+// Requires first.width_out() == second.width_in().
+Topology cascade(const Topology& first, const Topology& second);
+
+// `first` cascaded with itself `times` >= 1 times; requires equal input
+// and output widths.
+Topology cascade_n(const Topology& net, std::size_t times);
+
+// Places `top` and `bottom` side by side: inputs (and outputs) of `top`
+// come first, then those of `bottom`; no wires cross between them.
+Topology stack(const Topology& top, const Topology& bottom);
+
+}  // namespace cnet::topo

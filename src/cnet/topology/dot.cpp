@@ -1,0 +1,57 @@
+#include "cnet/topology/dot.hpp"
+
+#include <sstream>
+
+namespace cnet::topo {
+
+std::string to_dot(const Topology& net, const std::string& name) {
+  std::ostringstream os;
+  os << "digraph \"" << name << "\" {\n"
+     << "  rankdir=LR;\n"
+     << "  node [shape=box, fontsize=10];\n";
+  for (std::size_t i = 0; i < net.width_in(); ++i) {
+    os << "  in" << i << " [shape=point, xlabel=\"x" << i << "\"];\n";
+  }
+  for (std::size_t i = 0; i < net.width_out(); ++i) {
+    os << "  out" << i << " [shape=point, xlabel=\"y" << i << "\"];\n";
+  }
+  for (std::size_t b = 0; b < net.num_balancers(); ++b) {
+    const auto& bal = net.balancer(BalancerId{static_cast<std::uint32_t>(b)});
+    os << "  b" << b << " [label=\"b" << b << "\\n(" << bal.fan_in() << ","
+       << bal.fan_out() << ")\"];\n";
+  }
+  // Edges follow wires: producer -> consumer, labelled by ports.
+  auto endpoint_name = [&](const WireEnd& end, bool as_producer) {
+    std::ostringstream n;
+    if (end.kind == WireEnd::Kind::kNetworkInput) {
+      n << "in" << end.port;
+    } else if (end.kind == WireEnd::Kind::kNetworkOutput) {
+      n << "out" << end.port;
+    } else {
+      n << "b" << end.balancer.value;
+    }
+    (void)as_producer;
+    return n.str();
+  };
+  for (std::size_t w = 0; w < net.num_wires(); ++w) {
+    const WireId wire{static_cast<std::uint32_t>(w)};
+    const WireEnd& from = net.producer(wire);
+    const WireEnd& to = net.consumer(wire);
+    os << "  " << endpoint_name(from, true) << " -> "
+       << endpoint_name(to, false);
+    if (from.kind == WireEnd::Kind::kBalancer) {
+      os << " [taillabel=\"" << from.port << "\", fontsize=8]";
+    }
+    os << ";\n";
+  }
+  // Same-rank groups per layer keep the drawing close to the paper's.
+  for (const auto& layer : net.layers()) {
+    os << "  { rank=same;";
+    for (const BalancerId b : layer) os << " b" << b.value << ";";
+    os << " }\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace cnet::topo

@@ -1,0 +1,16 @@
+// Graphviz DOT export for balancing networks — used to regenerate the
+// paper's structural figures (Figs. 1–3, 5–6, 10–14) as diagrams.
+#pragma once
+
+#include <string>
+
+#include "cnet/topology/topology.hpp"
+
+namespace cnet::topo {
+
+// Renders the network as a left-to-right DOT digraph. Balancers become
+// boxes labelled "(p,q)"; network inputs/outputs become point nodes; ranks
+// follow the layer decomposition.
+std::string to_dot(const Topology& net, const std::string& name);
+
+}  // namespace cnet::topo

@@ -1,0 +1,42 @@
+#include "cnet/topology/feasibility.hpp"
+
+#include <algorithm>
+
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::topo {
+
+std::vector<std::uint64_t> prime_factors(std::uint64_t n) {
+  CNET_REQUIRE(n >= 1, "factorization of zero");
+  std::vector<std::uint64_t> factors;
+  for (std::uint64_t p = 2; p * p <= n; p += (p == 2 ? 1 : 2)) {
+    while (n % p == 0) {
+      factors.push_back(p);
+      n /= p;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  return factors;
+}
+
+std::vector<std::uint64_t> infeasibility_witnesses(
+    std::uint64_t w, std::span<const std::uint64_t> balancer_widths) {
+  CNET_REQUIRE(w >= 1, "width must be positive");
+  std::vector<std::uint64_t> witnesses;
+  auto factors = prime_factors(w);
+  factors.erase(std::unique(factors.begin(), factors.end()), factors.end());
+  for (const std::uint64_t p : factors) {
+    const bool divides_some =
+        std::any_of(balancer_widths.begin(), balancer_widths.end(),
+                    [p](std::uint64_t b) { return b % p == 0; });
+    if (!divides_some) witnesses.push_back(p);
+  }
+  return witnesses;
+}
+
+bool counting_width_feasible(std::uint64_t w,
+                             std::span<const std::uint64_t> balancer_widths) {
+  return infeasibility_witnesses(w, balancer_widths).empty();
+}
+
+}  // namespace cnet::topo

@@ -1,0 +1,33 @@
+// Constructibility of counting networks (paper §1.4.2).
+//
+// Aharonson & Attiya: a counting (indeed, smoothing) network of output
+// width w cannot be built from balancers with output widths b_1..b_k if
+// some prime factor p of w divides no b_i. This module implements that
+// necessary condition, so callers can reject impossible (width, balancer
+// set) requests before trying to build them — and it documents why the
+// paper's family needs w = 2^k when only (2,2)- and (2,2p)-balancers are
+// available.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cnet::topo {
+
+// Prime factorization of n >= 1 (primes in increasing order, repeated by
+// multiplicity).
+std::vector<std::uint64_t> prime_factors(std::uint64_t n);
+
+// True iff the Aharonson–Attiya condition PERMITS a counting network of
+// output width `w` from balancers with the given output widths: every
+// prime factor of w divides at least one balancer width. (Necessary, not
+// sufficient.)
+bool counting_width_feasible(std::uint64_t w,
+                             std::span<const std::uint64_t> balancer_widths);
+
+// The prime factors of w that witness infeasibility (empty iff feasible).
+std::vector<std::uint64_t> infeasibility_witnesses(
+    std::uint64_t w, std::span<const std::uint64_t> balancer_widths);
+
+}  // namespace cnet::topo

@@ -1,0 +1,30 @@
+// Strong id types for wires and balancers. Using distinct wrapper structs
+// (Core Guidelines I.4: strong types for distinct concepts) prevents mixing
+// up the two index spaces at compile time.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+
+namespace cnet::topo {
+
+struct WireId {
+  std::uint32_t value = std::numeric_limits<std::uint32_t>::max();
+  friend auto operator<=>(WireId, WireId) = default;
+};
+
+struct BalancerId {
+  std::uint32_t value = std::numeric_limits<std::uint32_t>::max();
+  friend auto operator<=>(BalancerId, BalancerId) = default;
+};
+
+inline constexpr WireId kInvalidWire{};
+inline constexpr BalancerId kInvalidBalancer{};
+
+constexpr bool is_valid(WireId w) noexcept { return w != kInvalidWire; }
+constexpr bool is_valid(BalancerId b) noexcept {
+  return b != kInvalidBalancer;
+}
+
+}  // namespace cnet::topo

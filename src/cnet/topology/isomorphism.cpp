@@ -1,0 +1,234 @@
+#include "cnet/topology/isomorphism.hpp"
+
+#include <algorithm>
+
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::topo {
+
+namespace {
+
+// For each balancer, the "consumer signature" of one output port: whether it
+// feeds a balancer (and which one) or a network output.
+struct PortConsumer {
+  bool to_balancer = false;
+  std::uint32_t target = 0;  // balancer index when to_balancer
+};
+
+PortConsumer port_consumer(const Topology& net, const Balancer& bal,
+                           std::size_t port) {
+  const WireEnd& end = net.consumer(bal.outputs[port]);
+  if (end.kind == WireEnd::Kind::kBalancer) {
+    return {true, end.balancer.value};
+  }
+  return {false, 0};
+}
+
+// Number of a balancer's input ports fed directly by network inputs.
+std::size_t network_fed_inputs(const Topology& net, const Balancer& bal) {
+  std::size_t n = 0;
+  for (const WireId in : bal.inputs) {
+    if (net.producer(in).kind == WireEnd::Kind::kNetworkInput) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+bool verify_isomorphism(const Topology& a, const Topology& b,
+                        const BalancerMapping& mapping) {
+  if (a.width_in() != b.width_in() || a.width_out() != b.width_out()) {
+    return false;
+  }
+  if (a.num_balancers() != b.num_balancers()) return false;
+  if (mapping.size() != a.num_balancers()) return false;
+
+  // (i) bijection preserving (p,q) shape.
+  std::vector<bool> used(b.num_balancers(), false);
+  for (std::size_t i = 0; i < mapping.size(); ++i) {
+    const std::uint32_t j = mapping[i];
+    if (j >= b.num_balancers() || used[j]) return false;
+    used[j] = true;
+    const auto& ba = a.balancer(BalancerId{static_cast<std::uint32_t>(i)});
+    const auto& bb = b.balancer(BalancerId{j});
+    if (ba.fan_in() != bb.fan_in() || ba.fan_out() != bb.fan_out()) {
+      return false;
+    }
+    // Network-fed input counts must agree, otherwise the implied input-wire
+    // correspondence pi_in cannot exist.
+    if (network_fed_inputs(a, ba) != network_fed_inputs(b, bb)) return false;
+  }
+
+  // (ii) per-output-port consumers correspond.
+  for (std::size_t i = 0; i < a.num_balancers(); ++i) {
+    const auto& ba = a.balancer(BalancerId{static_cast<std::uint32_t>(i)});
+    const auto& bb = b.balancer(BalancerId{mapping[i]});
+    for (std::size_t port = 0; port < ba.fan_out(); ++port) {
+      const PortConsumer ca = port_consumer(a, ba, port);
+      const PortConsumer cb = port_consumer(b, bb, port);
+      if (ca.to_balancer != cb.to_balancer) return false;
+      if (ca.to_balancer && mapping[ca.target] != cb.target) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<BalancerMapping> find_isomorphism(const Topology& a,
+                                                const Topology& b) {
+  if (a.width_in() != b.width_in() || a.width_out() != b.width_out()) {
+    return std::nullopt;
+  }
+  const std::size_t n = a.num_balancers();
+  if (n != b.num_balancers()) return std::nullopt;
+  if (a.depth() != b.depth()) return std::nullopt;
+
+  // Candidates grouped by (depth, fan_in, fan_out, network-fed inputs):
+  // all are isomorphism invariants, so they prune hard.
+  auto signature = [](const Topology& net, std::uint32_t idx) {
+    const BalancerId id{idx};
+    const auto& bal = net.balancer(id);
+    return std::tuple(net.balancer_depth(id), bal.fan_in(), bal.fan_out(),
+                      network_fed_inputs(net, bal));
+  };
+
+  std::vector<std::vector<std::uint32_t>> candidates(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto sig_a = signature(a, i);
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (signature(b, j) == sig_a) candidates[i].push_back(j);
+    }
+    if (candidates[i].empty()) return std::nullopt;
+  }
+
+  BalancerMapping mapping(n, 0);
+  std::vector<bool> used(n, false);
+
+  // Assign in topological (storage) order so that every producer of balancer
+  // i is already mapped when i is considered.
+  auto consistent = [&](std::uint32_t i, std::uint32_t j) {
+    const auto& ba = a.balancer(BalancerId{i});
+    const auto& bb = b.balancer(BalancerId{j});
+    // Every balancer-produced input of i must come from the image of its
+    // producer, on the same output port. Count matches per (producer, port).
+    for (const WireId in : ba.inputs) {
+      const WireEnd& prod = a.producer(in);
+      if (prod.kind != WireEnd::Kind::kBalancer) continue;
+      const std::uint32_t mapped_prod = mapping[prod.balancer.value];
+      // The mapped producer's same-numbered port must feed j.
+      const auto& pb = b.balancer(BalancerId{mapped_prod});
+      const WireEnd& cons = b.consumer(pb.outputs[prod.port]);
+      if (cons.kind != WireEnd::Kind::kBalancer ||
+          cons.balancer.value != j) {
+        return false;
+      }
+    }
+    // Output ports that are network outputs must match in kind (the
+    // balancer-to-balancer direction is enforced when consumers get
+    // assigned, via the producer check above).
+    for (std::size_t port = 0; port < ba.fan_out(); ++port) {
+      if (port_consumer(a, ba, port).to_balancer !=
+          port_consumer(b, bb, port).to_balancer) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Iterative backtracking over candidate lists.
+  std::vector<std::size_t> choice(n, 0);
+  std::size_t i = 0;
+  while (true) {
+    if (i == n) {
+      CNET_ENSURE(verify_isomorphism(a, b, mapping),
+                  "search produced an invalid isomorphism");
+      return mapping;
+    }
+    bool advanced = false;
+    for (std::size_t& c = choice[i]; c < candidates[i].size(); ++c) {
+      const std::uint32_t j = candidates[i][c];
+      if (used[j] || !consistent(static_cast<std::uint32_t>(i), j)) continue;
+      mapping[i] = j;
+      used[j] = true;
+      ++c;  // resume after this candidate on backtrack
+      ++i;
+      advanced = true;
+      break;
+    }
+    if (advanced) continue;
+    // Exhausted candidates at level i: backtrack.
+    choice[i] = 0;
+    if (i == 0) return std::nullopt;
+    --i;
+    used[mapping[i]] = false;
+  }
+}
+
+IoPermutations derive_io_permutations(const Topology& a, const Topology& b,
+                                      const BalancerMapping& mapping) {
+  CNET_REQUIRE(verify_isomorphism(a, b, mapping),
+               "mapping is not an isomorphism");
+  IoPermutations io;
+  io.pi_in.assign(a.width_in(), 0);
+  io.pi_out.assign(a.width_out(), 0);
+
+  // Inputs: match the network-fed input ports of each balancer pair in
+  // order. Wires that run straight from a network input to a network
+  // output are handled below with the outputs.
+  for (std::uint32_t i = 0; i < a.num_balancers(); ++i) {
+    const auto& ba = a.balancer(BalancerId{i});
+    const auto& bb = b.balancer(BalancerId{mapping[i]});
+    std::vector<std::uint32_t> fed_a, fed_b;
+    for (const WireId in : ba.inputs) {
+      const WireEnd& p = a.producer(in);
+      if (p.kind == WireEnd::Kind::kNetworkInput) fed_a.push_back(p.port);
+    }
+    for (const WireId in : bb.inputs) {
+      const WireEnd& p = b.producer(in);
+      if (p.kind == WireEnd::Kind::kNetworkInput) fed_b.push_back(p.port);
+    }
+    CNET_ENSURE(fed_a.size() == fed_b.size(), "network-fed port mismatch");
+    for (std::size_t k = 0; k < fed_a.size(); ++k) {
+      io.pi_in[fed_a[k]] = fed_b[k];
+    }
+  }
+
+  // Outputs: output port k of balancer i corresponds to output port k of
+  // its image (condition (ii) pins the numbering).
+  for (std::uint32_t i = 0; i < a.num_balancers(); ++i) {
+    const auto& ba = a.balancer(BalancerId{i});
+    const auto& bb = b.balancer(BalancerId{mapping[i]});
+    for (std::size_t port = 0; port < ba.fan_out(); ++port) {
+      const WireEnd& ca = a.consumer(ba.outputs[port]);
+      if (ca.kind != WireEnd::Kind::kNetworkOutput) continue;
+      const WireEnd& cb = b.consumer(bb.outputs[port]);
+      CNET_ENSURE(cb.kind == WireEnd::Kind::kNetworkOutput,
+                  "output kind mismatch despite verified isomorphism");
+      io.pi_out[ca.port] = cb.port;
+    }
+  }
+
+  // Pass-through wires (network input straight to network output): pair
+  // them up in order; their positions are interchangeable.
+  {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> pass_a, pass_b;
+    auto collect = [](const Topology& net, auto& out) {
+      for (std::uint32_t i = 0; i < net.width_in(); ++i) {
+        const WireId w = net.input_wires()[i];
+        const WireEnd& c = net.consumer(w);
+        if (c.kind == WireEnd::Kind::kNetworkOutput) {
+          out.emplace_back(i, c.port);
+        }
+      }
+    };
+    collect(a, pass_a);
+    collect(b, pass_b);
+    CNET_ENSURE(pass_a.size() == pass_b.size(), "pass-through mismatch");
+    for (std::size_t k = 0; k < pass_a.size(); ++k) {
+      io.pi_in[pass_a[k].first] = pass_b[k].first;
+      io.pi_out[pass_a[k].second] = pass_b[k].second;
+    }
+  }
+  return io;
+}
+
+}  // namespace cnet::topo

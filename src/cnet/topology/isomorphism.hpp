@@ -1,0 +1,56 @@
+// Balancing-network isomorphism (paper §2.3).
+//
+// Two networks are isomorphic when (i) there is a fan-shape-preserving
+// bijection between their balancers, and (ii) whenever the k-th output wire
+// of balancer b_i feeds balancer b_j, the k-th output wire of the image of
+// b_i feeds the image of b_j (the input port may differ). Note the paper's
+// caveat: this is *not* plain graph isomorphism, because output ports are
+// ordered while input ports are interchangeable.
+//
+// We provide a backtracking decision procedure (practical for the small
+// instances in the paper, e.g. Lemma 5.3's butterflies) and a verifier for
+// an explicitly given balancer correspondence.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "cnet/topology/topology.hpp"
+
+namespace cnet::topo {
+
+// A candidate isomorphism: mapping[i] is the index in B of the balancer
+// corresponding to balancer i of A.
+using BalancerMapping = std::vector<std::uint32_t>;
+
+// Checks that `mapping` satisfies conditions (i) and (ii).
+bool verify_isomorphism(const Topology& a, const Topology& b,
+                        const BalancerMapping& mapping);
+
+// Searches for an isomorphism; returns it if one exists. Exponential in the
+// worst case — intended for the figure-sized networks in the paper.
+std::optional<BalancerMapping> find_isomorphism(const Topology& a,
+                                                const Topology& b);
+
+// Convenience wrapper.
+inline bool are_isomorphic(const Topology& a, const Topology& b) {
+  return find_isomorphism(a, b).has_value();
+}
+
+// The induced wire correspondences of §2.3: pi_in maps input positions of
+// A to input positions of B, pi_out likewise for outputs. Output ports are
+// pinned by condition (ii); for input wires, the network-fed input ports
+// of each balancer are matched in order (any such matching is behaviourally
+// equivalent, because a balancer's quiescent output depends only on the sum
+// of its inputs). Lemma 2.7 then states: if u = pi_in(x) feeds B, its
+// output is pi_out applied to A's output on x — see verify tests.
+struct IoPermutations {
+  std::vector<std::uint32_t> pi_in;   // A input position -> B input position
+  std::vector<std::uint32_t> pi_out;  // A output position -> B output position
+};
+IoPermutations derive_io_permutations(const Topology& a, const Topology& b,
+                                      const BalancerMapping& mapping);
+
+}  // namespace cnet::topo

@@ -1,0 +1,177 @@
+#include "cnet/topology/quiescent.hpp"
+
+#include <algorithm>
+
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::topo {
+
+namespace {
+
+// Core forward pass shared by evaluate / evaluate_net / evaluate_traced.
+// `allow_negative` switches the per-balancer rule to the antitoken-aware
+// net-balance formula.
+EvaluationTrace run(const Topology& net,
+                    std::span<const seq::Value> input_counts,
+                    InitialStates initial_states, bool want_trace,
+                    bool allow_negative = false) {
+  CNET_REQUIRE(input_counts.size() == net.width_in(),
+               "input sequence width mismatch");
+  CNET_REQUIRE(initial_states.empty() ||
+                   initial_states.size() == net.num_balancers(),
+               "initial state vector must cover every balancer");
+  if (!allow_negative) {
+    for (const seq::Value v : input_counts) {
+      CNET_REQUIRE(v >= 0, "token counts must be nonnegative");
+    }
+  }
+
+  std::vector<seq::Value> on_wire(net.num_wires(), 0);
+  for (std::size_t i = 0; i < net.width_in(); ++i) {
+    on_wire[net.input_wires()[i].value] = input_counts[i];
+  }
+
+  EvaluationTrace trace;
+  if (want_trace) {
+    trace.tokens_through_balancer.assign(net.num_balancers(), 0);
+    trace.final_states.assign(net.num_balancers(), 0);
+  }
+
+  // Balancer storage order is topological (Builder guarantees it).
+  for (std::size_t b = 0; b < net.num_balancers(); ++b) {
+    const Balancer& bal = net.balancer(BalancerId{
+        static_cast<std::uint32_t>(b)});
+    seq::Value total = 0;
+    for (const WireId in : bal.inputs) total += on_wire[in.value];
+    const std::uint32_t init =
+        initial_states.empty() ? 0u : initial_states[b];
+    CNET_REQUIRE(init < bal.fan_out(), "initial state out of range");
+    const seq::Sequence outs =
+        allow_negative ? seq::balancer_output_net(total, bal.fan_out(), init)
+                       : seq::balancer_output(total, bal.fan_out(), init);
+    for (std::size_t port = 0; port < bal.fan_out(); ++port) {
+      on_wire[bal.outputs[port].value] = outs[port];
+    }
+    if (want_trace) {
+      trace.tokens_through_balancer[b] = total;
+      trace.final_states[b] = static_cast<std::uint32_t>(
+          (init + static_cast<std::uint64_t>(total % static_cast<seq::Value>(
+                                                 bal.fan_out()))) %
+          bal.fan_out());
+    }
+  }
+
+  trace.outputs.reserve(net.width_out());
+  for (const WireId out : net.output_wires()) {
+    trace.outputs.push_back(on_wire[out.value]);
+  }
+  return trace;
+}
+
+// Structured corner-case inputs every checker also tries: all-zero, all-one,
+// single hot wire, extreme skew.
+std::vector<seq::Sequence> corner_inputs(std::size_t w,
+                                         seq::Value max_per_wire) {
+  std::vector<seq::Sequence> cases;
+  cases.emplace_back(w, 0);
+  cases.emplace_back(w, 1);
+  cases.emplace_back(w, max_per_wire);
+  for (std::size_t hot = 0; hot < std::min<std::size_t>(w, 4); ++hot) {
+    seq::Sequence x(w, 0);
+    x[hot] = max_per_wire;
+    cases.push_back(std::move(x));
+  }
+  seq::Sequence ramp(w);
+  for (std::size_t i = 0; i < w; ++i) {
+    ramp[i] = (max_per_wire * static_cast<seq::Value>(i)) /
+              std::max<seq::Value>(1, static_cast<seq::Value>(w));
+  }
+  cases.push_back(std::move(ramp));
+  return cases;
+}
+
+}  // namespace
+
+seq::Sequence evaluate(const Topology& net,
+                       std::span<const seq::Value> input_counts,
+                       InitialStates initial_states) {
+  return run(net, input_counts, initial_states, /*want_trace=*/false).outputs;
+}
+
+seq::Sequence evaluate_net(const Topology& net,
+                           std::span<const seq::Value> input_balances,
+                           InitialStates initial_states) {
+  return run(net, input_balances, initial_states, /*want_trace=*/false,
+             /*allow_negative=*/true)
+      .outputs;
+}
+
+EvaluationTrace evaluate_traced(const Topology& net,
+                                std::span<const seq::Value> input_counts,
+                                InitialStates initial_states) {
+  return run(net, input_counts, initial_states, /*want_trace=*/true);
+}
+
+Witness check_counting_random(const Topology& net, std::size_t trials,
+                              seq::Value max_per_wire,
+                              util::Xoshiro256& rng) {
+  const std::size_t w = net.width_in();
+  auto failing = [&](std::span<const seq::Value> x) -> bool {
+    const seq::Sequence y = evaluate(net, x);
+    if (!seq::is_step(y)) return true;
+    return seq::sum(y) != seq::sum(x);  // sum preservation must also hold
+  };
+  for (const auto& x : corner_inputs(w, max_per_wire)) {
+    if (failing(x)) return x;
+  }
+  for (std::size_t t = 0; t < trials; ++t) {
+    seq::Sequence x(w);
+    for (auto& v : x) {
+      v = static_cast<seq::Value>(
+          rng.below(static_cast<std::uint64_t>(max_per_wire) + 1));
+    }
+    if (failing(x)) return x;
+  }
+  return std::nullopt;
+}
+
+Witness check_counting_exhaustive(const Topology& net,
+                                  seq::Value max_per_wire) {
+  const std::size_t w = net.width_in();
+  seq::Sequence x(w, 0);
+  while (true) {
+    const seq::Sequence y = evaluate(net, x);
+    if (!seq::is_step(y) || seq::sum(y) != seq::sum(x)) return x;
+    // Odometer increment over {0..max_per_wire}^w.
+    std::size_t pos = 0;
+    while (pos < w && x[pos] == max_per_wire) {
+      x[pos] = 0;
+      ++pos;
+    }
+    if (pos == w) return std::nullopt;
+    ++x[pos];
+  }
+}
+
+seq::Value max_output_smoothness_random(const Topology& net,
+                                        std::size_t trials,
+                                        seq::Value max_per_wire,
+                                        util::Xoshiro256& rng) {
+  const std::size_t w = net.width_in();
+  seq::Value worst = 0;
+  auto consider = [&](std::span<const seq::Value> x) {
+    worst = std::max(worst, seq::smoothness(evaluate(net, x)));
+  };
+  for (const auto& x : corner_inputs(w, max_per_wire)) consider(x);
+  for (std::size_t t = 0; t < trials; ++t) {
+    seq::Sequence x(w);
+    for (auto& v : x) {
+      v = static_cast<seq::Value>(
+          rng.below(static_cast<std::uint64_t>(max_per_wire) + 1));
+    }
+    consider(x);
+  }
+  return worst;
+}
+
+}  // namespace cnet::topo

@@ -1,0 +1,77 @@
+// Quiescent-state evaluation (paper §2.2).
+//
+// In a quiescent state the output sequence of a (p,q)-balancer is a function
+// only of the number of tokens that entered it (and its initial state), and
+// the network's output sequence is a function of the per-wire input counts.
+// This lets us evaluate a whole network by a single forward pass over the
+// balancers in topological order — the basis of all correctness checks
+// (step property, k-smoothness, sum preservation).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "cnet/seq/sequence.hpp"
+#include "cnet/topology/topology.hpp"
+#include "cnet/util/prng.hpp"
+
+namespace cnet::topo {
+
+// Per-balancer initial states; empty means all balancers start at state 0.
+using InitialStates = std::span<const std::uint32_t>;
+
+// Propagates per-input-wire token counts through the network and returns the
+// per-output-wire token counts of the resulting quiescent state.
+// `input_counts.size()` must equal `net.width_in()`; counts are >= 0.
+seq::Sequence evaluate(const Topology& net,
+                       std::span<const seq::Value> input_counts,
+                       InitialStates initial_states = {});
+
+// Net-balance evaluation with antitokens (Aiello et al.): input counts are
+// token-minus-antitoken balances and may be negative. For a counting
+// network the output balances still satisfy the step property — Eq. (1)
+// extends to negative totals — which is why counting networks support
+// Fetch&Decrement alongside Fetch&Increment (paper §1.4.2).
+seq::Sequence evaluate_net(const Topology& net,
+                           std::span<const seq::Value> input_balances,
+                           InitialStates initial_states = {});
+
+// Like `evaluate` but also reports the number of tokens through each
+// balancer and the final balancer states (used by structural analyses and
+// by batch-composed evaluation: feeding final_states back in as
+// initial_states continues the execution where it stopped).
+struct EvaluationTrace {
+  seq::Sequence outputs;
+  std::vector<seq::Value> tokens_through_balancer;
+  std::vector<std::uint32_t> final_states;
+};
+EvaluationTrace evaluate_traced(const Topology& net,
+                                std::span<const seq::Value> input_counts,
+                                InitialStates initial_states = {});
+
+// Result of a property check: nullopt on success, else a witness input.
+using Witness = std::optional<seq::Sequence>;
+
+// Checks the step property on random input distributions (counts uniform in
+// [0, max_per_wire]) plus a few structured corner cases. Returns the first
+// failing input, if any.
+Witness check_counting_random(const Topology& net, std::size_t trials,
+                              seq::Value max_per_wire, util::Xoshiro256& rng);
+
+// Exhaustively checks the step property for every input in
+// {0,...,max_per_wire}^w. Only call on small networks: cost is
+// (max_per_wire+1)^w evaluations.
+Witness check_counting_exhaustive(const Topology& net,
+                                  seq::Value max_per_wire);
+
+// Measures the worst observed output smoothness over random inputs (plus
+// corner cases); a k-smoothing network must never exceed k.
+seq::Value max_output_smoothness_random(const Topology& net,
+                                        std::size_t trials,
+                                        seq::Value max_per_wire,
+                                        util::Xoshiro256& rng);
+
+}  // namespace cnet::topo

@@ -1,0 +1,112 @@
+#include "cnet/topology/serialize.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::topo {
+
+std::string to_text(const Topology& net) {
+  std::ostringstream os;
+  os << "cnet-topology v1\n";
+  os << "inputs " << net.width_in() << "\n";
+  for (std::uint32_t b = 0; b < net.num_balancers(); ++b) {
+    const auto& bal = net.balancer(BalancerId{b});
+    os << "balancer " << bal.fan_out();
+    for (const WireId in : bal.inputs) os << ' ' << in.value;
+    os << "\n";
+  }
+  os << "outputs";
+  for (const WireId out : net.output_wires()) os << ' ' << out.value;
+  os << "\n";
+  return os.str();
+}
+
+Topology from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  Builder builder;
+  std::vector<WireId> wires;  // id -> WireId handed out by the builder
+  bool saw_header = false, saw_inputs = false, saw_outputs = false;
+
+  auto fail = [](const std::string& why) -> void {
+    throw std::invalid_argument("cnet-topology parse error: " + why);
+  };
+
+  while (std::getline(is, line)) {
+    // Strip comments and whitespace-only lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;
+
+    if (!saw_header) {
+      std::string version;
+      if (keyword != "cnet-topology" || !(ls >> version) || version != "v1") {
+        fail("expected header 'cnet-topology v1'");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (keyword == "inputs") {
+      if (saw_inputs) fail("duplicate inputs line");
+      std::size_t w = 0;
+      if (!(ls >> w) || w == 0) fail("inputs needs a positive width");
+      wires = builder.add_network_inputs(w);
+      saw_inputs = true;
+    } else if (keyword == "balancer") {
+      if (!saw_inputs) fail("balancer before inputs");
+      if (saw_outputs) fail("balancer after outputs");
+      std::size_t fanout = 0;
+      if (!(ls >> fanout) || fanout == 0) fail("balancer needs a fanout");
+      std::vector<WireId> ins;
+      std::size_t id = 0;
+      while (ls >> id) {
+        if (id >= wires.size()) fail("balancer references unknown wire");
+        ins.push_back(wires[id]);
+      }
+      if (ins.empty()) fail("balancer needs at least one input wire");
+      const auto outs = builder.add_balancer(ins, fanout);
+      wires.insert(wires.end(), outs.begin(), outs.end());
+    } else if (keyword == "outputs") {
+      if (saw_outputs) fail("duplicate outputs line");
+      std::vector<WireId> outs;
+      std::size_t id = 0;
+      while (ls >> id) {
+        if (id >= wires.size()) fail("output references unknown wire");
+        outs.push_back(wires[id]);
+      }
+      builder.set_outputs(outs);
+      saw_outputs = true;
+    } else {
+      fail("unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!saw_header) fail("missing header");
+  if (!saw_outputs) fail("missing outputs line");
+  return std::move(builder).build();
+}
+
+bool structurally_equal(const Topology& a, const Topology& b) {
+  if (a.width_in() != b.width_in() || a.width_out() != b.width_out() ||
+      a.num_balancers() != b.num_balancers() ||
+      a.num_wires() != b.num_wires()) {
+    return false;
+  }
+  for (std::uint32_t i = 0; i < a.num_balancers(); ++i) {
+    const auto& ba = a.balancer(BalancerId{i});
+    const auto& bb = b.balancer(BalancerId{i});
+    if (ba.inputs != bb.inputs || ba.outputs != bb.outputs) return false;
+  }
+  for (std::size_t i = 0; i < a.width_out(); ++i) {
+    if (a.output_wires()[i] != b.output_wires()[i]) return false;
+  }
+  for (std::size_t i = 0; i < a.width_in(); ++i) {
+    if (a.input_wires()[i] != b.input_wires()[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace cnet::topo

@@ -1,0 +1,30 @@
+// Plain-text serialization of balancing networks.
+//
+// Format (one declaration per line, '#' comments allowed):
+//   cnet-topology v1
+//   inputs <w>
+//   balancer <fanout> <in_wire_id>...   # outputs get the next fanout ids
+//   outputs <wire_id>...
+//
+// Wire ids follow the Builder's deterministic numbering (network inputs
+// first, then each balancer's outputs in declaration order), so a network
+// round-trips to a structurally identical one. Useful for golden files,
+// external tooling, and shipping topologies between processes.
+#pragma once
+
+#include <string>
+
+#include "cnet/topology/topology.hpp"
+
+namespace cnet::topo {
+
+std::string to_text(const Topology& net);
+
+// Parses and validates; throws std::invalid_argument on malformed input.
+Topology from_text(const std::string& text);
+
+// Structural identity: same widths and, position by position, the same
+// balancer shapes wired to the same wire ids. (Stronger than isomorphism.)
+bool structurally_equal(const Topology& a, const Topology& b);
+
+}  // namespace cnet::topo

@@ -1,0 +1,170 @@
+#include "cnet/topology/topology.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::topo {
+
+WireId Builder::new_wire(WireEnd producer) {
+  const WireId id{static_cast<std::uint32_t>(producer_.size())};
+  producer_.push_back(producer);
+  consumer_.push_back(WireEnd{});  // unbound until consumed
+  return id;
+}
+
+WireId Builder::add_network_input() {
+  CNET_REQUIRE(!outputs_set_, "cannot add inputs after set_outputs");
+  WireEnd end;
+  end.kind = WireEnd::Kind::kNetworkInput;
+  end.port = static_cast<std::uint32_t>(inputs_.size());
+  const WireId id = new_wire(end);
+  inputs_.push_back(id);
+  return id;
+}
+
+std::vector<WireId> Builder::add_network_inputs(std::size_t n) {
+  std::vector<WireId> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(add_network_input());
+  return out;
+}
+
+std::vector<WireId> Builder::add_balancer(std::span<const WireId> inputs,
+                                          std::size_t fanout) {
+  CNET_REQUIRE(!outputs_set_, "cannot add balancers after set_outputs");
+  CNET_REQUIRE(!inputs.empty(), "balancer needs at least one input");
+  CNET_REQUIRE(fanout >= 1, "balancer needs at least one output");
+  const BalancerId bid{static_cast<std::uint32_t>(balancers_.size())};
+  Balancer bal;
+  bal.inputs.assign(inputs.begin(), inputs.end());
+  for (std::uint32_t port = 0; port < inputs.size(); ++port) {
+    const WireId w = inputs[port];
+    CNET_REQUIRE(w.value < producer_.size(), "unknown wire id");
+    CNET_REQUIRE(consumer_[w.value].kind == WireEnd::Kind::kUnbound,
+                 "wire already consumed");
+    consumer_[w.value] =
+        WireEnd{WireEnd::Kind::kBalancer, bid, port};
+  }
+  bal.outputs.reserve(fanout);
+  for (std::uint32_t port = 0; port < fanout; ++port) {
+    bal.outputs.push_back(
+        new_wire(WireEnd{WireEnd::Kind::kBalancer, bid, port}));
+  }
+  balancers_.push_back(std::move(bal));
+  return balancers_.back().outputs;
+}
+
+std::pair<WireId, WireId> Builder::add_balancer2(WireId a, WireId b) {
+  const WireId in[2] = {a, b};
+  auto out = add_balancer(in, 2);
+  return {out[0], out[1]};
+}
+
+void Builder::set_outputs(std::span<const WireId> outputs) {
+  CNET_REQUIRE(!outputs_set_, "set_outputs called twice");
+  for (std::uint32_t pos = 0; pos < outputs.size(); ++pos) {
+    const WireId w = outputs[pos];
+    CNET_REQUIRE(w.value < producer_.size(), "unknown wire id");
+    CNET_REQUIRE(consumer_[w.value].kind == WireEnd::Kind::kUnbound,
+                 "output wire already consumed");
+    consumer_[w.value] =
+        WireEnd{WireEnd::Kind::kNetworkOutput, kInvalidBalancer, pos};
+  }
+  outputs_.assign(outputs.begin(), outputs.end());
+  outputs_set_ = true;
+}
+
+Topology Builder::build() && {
+  CNET_REQUIRE(outputs_set_, "build() before set_outputs()");
+  for (std::size_t w = 0; w < consumer_.size(); ++w) {
+    CNET_REQUIRE(consumer_[w].kind != WireEnd::Kind::kUnbound,
+                 "dangling wire " + std::to_string(w) +
+                     " (neither consumed by a balancer nor a network output)");
+  }
+  Topology t;
+  t.producer_ = std::move(producer_);
+  t.consumer_ = std::move(consumer_);
+  t.balancers_ = std::move(balancers_);
+  t.inputs_ = std::move(inputs_);
+  t.outputs_ = std::move(outputs_);
+
+  // Depths: balancer creation order is topological (inputs must exist when
+  // a balancer is added), so one forward pass suffices.
+  t.depth_of_.assign(t.balancers_.size(), 0);
+  for (std::size_t b = 0; b < t.balancers_.size(); ++b) {
+    std::size_t d = 1;
+    for (const WireId in : t.balancers_[b].inputs) {
+      const WireEnd& prod = t.producer_[in.value];
+      if (prod.kind == WireEnd::Kind::kBalancer) {
+        CNET_ENSURE(prod.balancer.value < b, "not in topological order");
+        d = std::max(d, t.depth_of_[prod.balancer.value] + 1);
+      }
+    }
+    t.depth_of_[b] = d;
+    t.depth_ = std::max(t.depth_, d);
+  }
+  t.layers_.assign(t.depth_, {});
+  for (std::size_t b = 0; b < t.balancers_.size(); ++b) {
+    t.layers_[t.depth_of_[b] - 1].push_back(
+        BalancerId{static_cast<std::uint32_t>(b)});
+  }
+  return t;
+}
+
+const Balancer& Topology::balancer(BalancerId id) const {
+  CNET_REQUIRE(id.value < balancers_.size(), "balancer id out of range");
+  return balancers_[id.value];
+}
+
+const WireEnd& Topology::producer(WireId w) const {
+  CNET_REQUIRE(w.value < producer_.size(), "wire id out of range");
+  return producer_[w.value];
+}
+
+const WireEnd& Topology::consumer(WireId w) const {
+  CNET_REQUIRE(w.value < consumer_.size(), "wire id out of range");
+  return consumer_[w.value];
+}
+
+std::size_t Topology::balancer_depth(BalancerId id) const {
+  CNET_REQUIRE(id.value < depth_of_.size(), "balancer id out of range");
+  return depth_of_[id.value];
+}
+
+bool Topology::is_regular() const noexcept {
+  return std::all_of(balancers_.begin(), balancers_.end(),
+                     [](const Balancer& b) {
+                       return b.fan_in() == b.fan_out();
+                     });
+}
+
+std::vector<BalancerTypeCount> Topology::census() const {
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> counts;
+  for (const auto& b : balancers_) {
+    ++counts[{b.fan_in(), b.fan_out()}];
+  }
+  std::vector<BalancerTypeCount> out;
+  out.reserve(counts.size());
+  for (const auto& [shape, count] : counts) {
+    out.push_back({shape.first, shape.second, count});
+  }
+  return out;
+}
+
+std::string Topology::summary() const {
+  std::ostringstream os;
+  os << "w=" << width_in() << " t=" << width_out() << " depth=" << depth()
+     << " balancers=" << num_balancers() << " [";
+  bool first = true;
+  for (const auto& row : census()) {
+    if (!first) os << ", ";
+    first = false;
+    os << row.count << "x(" << row.fan_in << "," << row.fan_out << ")";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace cnet::topo

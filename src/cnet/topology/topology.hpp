@@ -1,0 +1,143 @@
+// Balancing-network topology (paper §1.1, §2.2).
+//
+// A balancing network is an acyclic network of (p,q)-balancers whose output
+// wires feed input wires of later balancers. We represent it in wire-SSA
+// form: every wire has exactly one producer (a network input or a balancer
+// output port) and exactly one consumer (a balancer input port or a network
+// output). Networks are assembled through `Builder`, whose API mirrors the
+// paper's recursive constructions: balancers are added onto existing wires,
+// so the balancer creation order is automatically a topological order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cnet/topology/ids.hpp"
+
+namespace cnet::topo {
+
+// One (p,q)-balancer: ordered input and output wire lists.
+struct Balancer {
+  std::vector<WireId> inputs;
+  std::vector<WireId> outputs;
+
+  std::size_t fan_in() const noexcept { return inputs.size(); }
+  std::size_t fan_out() const noexcept { return outputs.size(); }
+};
+
+// Where a wire comes from / goes to.
+struct WireEnd {
+  enum class Kind : std::uint8_t {
+    kNetworkInput,   // produced by the environment
+    kNetworkOutput,  // consumed by the environment
+    kBalancer,       // attached to balancer `balancer`, port `port`
+    kUnbound,        // not yet attached (illegal in a built Topology)
+  };
+  Kind kind = Kind::kUnbound;
+  BalancerId balancer = kInvalidBalancer;
+  std::uint32_t port = 0;  // input index on the network, or port on balancer
+};
+
+class Topology;
+
+// Incrementally assembles a Topology. Typical use:
+//   Builder b;
+//   auto in = b.add_network_inputs(w);
+//   auto out = wire_counting(b, in, t);   // recursive construction
+//   b.set_outputs(out);
+//   Topology net = std::move(b).build();
+class Builder {
+ public:
+  // Creates one fresh network input wire.
+  WireId add_network_input();
+  // Convenience: `n` fresh network input wires in order.
+  std::vector<WireId> add_network_inputs(std::size_t n);
+
+  // Adds a (inputs.size(), fanout)-balancer consuming `inputs` (each must be
+  // currently unconsumed) and returns its `fanout` fresh output wires.
+  std::vector<WireId> add_balancer(std::span<const WireId> inputs,
+                                   std::size_t fanout);
+  // Convenience for the ubiquitous (2,2)-balancer; returns {top, bottom}.
+  std::pair<WireId, WireId> add_balancer2(WireId a, WireId b);
+
+  // Declares the ordered network output wires. Each must be unconsumed.
+  void set_outputs(std::span<const WireId> outputs);
+
+  // Validates and finalizes. Throws std::invalid_argument when any wire is
+  // left dangling or outputs were never declared.
+  Topology build() &&;
+
+ private:
+  friend class Topology;
+  std::vector<WireEnd> producer_;   // indexed by wire
+  std::vector<WireEnd> consumer_;   // indexed by wire
+  std::vector<Balancer> balancers_;
+  std::vector<WireId> inputs_;
+  std::vector<WireId> outputs_;
+  bool outputs_set_ = false;
+
+  WireId new_wire(WireEnd producer);
+};
+
+// Census row: how many balancers of each (p,q) shape a network contains.
+struct BalancerTypeCount {
+  std::size_t fan_in = 0;
+  std::size_t fan_out = 0;
+  std::size_t count = 0;
+};
+
+// An immutable, validated balancing network.
+class Topology {
+ public:
+  std::size_t width_in() const noexcept { return inputs_.size(); }
+  std::size_t width_out() const noexcept { return outputs_.size(); }
+  std::size_t num_balancers() const noexcept { return balancers_.size(); }
+  std::size_t num_wires() const noexcept { return producer_.size(); }
+
+  const Balancer& balancer(BalancerId id) const;
+  std::span<const Balancer> balancers() const noexcept { return balancers_; }
+  std::span<const WireId> input_wires() const noexcept { return inputs_; }
+  std::span<const WireId> output_wires() const noexcept { return outputs_; }
+
+  const WireEnd& producer(WireId w) const;
+  const WireEnd& consumer(WireId w) const;
+
+  // Depth of a balancer (paper §2.2): 1 for balancers fed only by network
+  // inputs; otherwise 1 + max depth over producing balancers.
+  std::size_t balancer_depth(BalancerId id) const;
+  // Network depth: maximum balancer depth (0 for a wire-only network).
+  std::size_t depth() const noexcept { return depth_; }
+
+  // Layer decomposition (paper §2.2): layers()[d] lists the balancers of
+  // depth d+1, in creation order. Balancer creation order is topological.
+  const std::vector<std::vector<BalancerId>>& layers() const noexcept {
+    return layers_;
+  }
+
+  // True iff every balancer has fan_in == fan_out (paper §1.1).
+  bool is_regular() const noexcept;
+
+  // Census of balancer shapes, sorted by (fan_in, fan_out).
+  std::vector<BalancerTypeCount> census() const;
+
+  // Human-readable one-line summary, e.g. "w=8 t=16 depth=6 balancers=28".
+  std::string summary() const;
+
+ private:
+  friend class Builder;
+  Topology() = default;
+
+  std::vector<WireEnd> producer_;
+  std::vector<WireEnd> consumer_;
+  std::vector<Balancer> balancers_;
+  std::vector<WireId> inputs_;
+  std::vector<WireId> outputs_;
+  std::vector<std::size_t> depth_of_;  // per balancer
+  std::vector<std::vector<BalancerId>> layers_;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace cnet::topo

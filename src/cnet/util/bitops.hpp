@@ -1,0 +1,39 @@
+// Small constexpr bit-manipulation helpers for power-of-two network widths.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace cnet::util {
+
+// True iff x is a positive power of two.
+constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+// Floor of log2(x); requires x > 0.
+constexpr unsigned ilog2(std::uint64_t x) noexcept {
+  return static_cast<unsigned>(63 - std::countl_zero(x | 1));
+}
+
+// Ceiling of a/b for nonnegative a and positive b.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+// Reverse the low `bits` bits of v (used for diffracting-tree leaf order).
+constexpr std::uint64_t bit_reverse(std::uint64_t v, unsigned bits) noexcept {
+  std::uint64_t r = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    r = (r << 1) | ((v >> i) & 1u);
+  }
+  return r;
+}
+
+// Smallest power of two >= x; requires x >= 1.
+constexpr std::uint64_t next_pow2(std::uint64_t x) noexcept {
+  return std::bit_ceil(x);
+}
+
+}  // namespace cnet::util

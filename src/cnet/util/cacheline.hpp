@@ -1,0 +1,22 @@
+// Cache-line padding utilities (Core Guidelines CP.31 locality notes):
+// shared atomics that different threads update concurrently are placed on
+// distinct cache lines to avoid false sharing.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace cnet::util {
+
+// Fixed rather than std::hardware_destructive_interference_size: the value
+// participates in the library ABI and GCC warns that the std constant can
+// drift with -mtune. 64 bytes is correct for every x86-64 and most AArch64.
+inline constexpr std::size_t kCacheLine = 64;
+
+// A value padded out to its own cache line.
+template <class T>
+struct alignas(kCacheLine) Padded {
+  T value{};
+};
+
+}  // namespace cnet::util

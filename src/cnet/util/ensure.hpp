@@ -1,0 +1,46 @@
+// Contract-checking helpers used across the library.
+//
+// Following the C++ Core Guidelines (I.6/I.8: express preconditions and
+// postconditions), every public entry point validates its arguments with
+// CNET_REQUIRE and internal invariants with CNET_ENSURE. Violations throw,
+// so tests can assert on misuse, and release builds keep the checks (they
+// are all O(1) or amortized into construction).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cnet::util {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace cnet::util
+
+// Precondition on caller-supplied arguments; throws std::invalid_argument.
+#define CNET_REQUIRE(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) ::cnet::util::throw_precondition(#cond, __FILE__, __LINE__, \
+                                                  (msg));                    \
+  } while (false)
+
+// Internal invariant; throws std::logic_error (a library bug if it fires).
+#define CNET_ENSURE(cond, msg)                                             \
+  do {                                                                     \
+    if (!(cond)) ::cnet::util::throw_invariant(#cond, __FILE__, __LINE__, \
+                                               (msg));                    \
+  } while (false)

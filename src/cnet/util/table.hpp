@@ -1,0 +1,37 @@
+// Console table / CSV emitter used by the benchmark harness so that every
+// bench binary prints the rows the paper's tables and figures report.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cnet::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  // Column-aligned plain text rendering, with a header separator.
+  void print(std::ostream& os) const;
+
+  // RFC-4180-ish CSV (no quoting needed for our numeric content).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Numeric formatting helpers for table cells.
+std::string fmt_int(std::int64_t v);
+std::string fmt_double(double v, int precision = 3);
+std::string fmt_ratio(double num, double den, int precision = 2);
+
+}  // namespace cnet::util

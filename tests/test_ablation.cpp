@@ -1,0 +1,82 @@
+// Ablation (§1.3.2 / §3.3): replacing M(t, w/2) with the bitonic merger
+// keeps the network counting but makes its depth grow with t.
+#include "cnet/core/ablation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cnet/core/counting.hpp"
+#include "cnet/topology/quiescent.hpp"
+#include "cnet/util/bitops.hpp"
+#include "cnet/util/prng.hpp"
+
+namespace cnet::core {
+namespace {
+
+TEST(Ablation, RejectsNonPowerOfTwoT) {
+  EXPECT_THROW((void)make_counting_bitonic_merge(4, 12),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_counting_bitonic_merge(3, 8),
+               std::invalid_argument);
+}
+
+TEST(Ablation, DepthMatchesRecurrence) {
+  for (const std::size_t w : {2u, 4u, 8u, 16u, 32u}) {
+    for (std::size_t t = w; t <= 8 * w; t *= 2) {
+      const auto net = make_counting_bitonic_merge(w, t);
+      EXPECT_EQ(net.depth(), counting_bitonic_merge_depth(w, t))
+          << "w=" << w << " t=" << t;
+    }
+  }
+}
+
+TEST(Ablation, StillCountsExhaustivelySmall) {
+  for (const auto& [w, t] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {2, 2}, {2, 4}, {4, 4}, {4, 8}, {8, 8}, {8, 16}}) {
+    const auto net = make_counting_bitonic_merge(w, t);
+    EXPECT_FALSE(topo::check_counting_exhaustive(net, 3).has_value())
+        << "w=" << w << " t=" << t;
+  }
+}
+
+TEST(Ablation, StillCountsRandomizedLarger) {
+  util::Xoshiro256 rng(0xAB1A);
+  for (const auto& [w, t] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {16, 16}, {16, 64}, {32, 128}}) {
+    const auto net = make_counting_bitonic_merge(w, t);
+    EXPECT_FALSE(topo::check_counting_random(net, 200, 40, rng).has_value())
+        << "w=" << w << " t=" << t;
+  }
+}
+
+// The headline structural claim: the ablated network is never shallower
+// than C(w,t) (it keeps the ladder but pays lg t per merge level), and its
+// depth grows with every doubling of t while C(w,t)'s stays flat.
+TEST(Ablation, DepthGrowsWithTUnlikeTheRealConstruction) {
+  for (const std::size_t w : {4u, 8u, 16u}) {
+    const auto base = make_counting(w, w).depth();
+    EXPECT_GE(make_counting_bitonic_merge(w, w).depth(), base);
+    std::size_t prev = base;
+    for (std::size_t t = 2 * w; t <= 16 * w; t *= 2) {
+      const auto ablated = make_counting_bitonic_merge(w, t).depth();
+      const auto ours = make_counting(w, t).depth();
+      EXPECT_EQ(ours, base) << "C(w,t) depth must not depend on t";
+      EXPECT_GT(ablated, prev) << "ablated depth must grow with t";
+      prev = ablated;
+    }
+  }
+}
+
+TEST(Ablation, MoreBalancersThanRealConstruction) {
+  for (const std::size_t w : {8u, 16u}) {
+    for (std::size_t t = 2 * w; t <= 8 * w; t *= 2) {
+      EXPECT_GT(make_counting_bitonic_merge(w, t).num_balancers(),
+                make_counting(w, t).num_balancers())
+          << "w=" << w << " t=" << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cnet::core

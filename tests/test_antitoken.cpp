@@ -1,0 +1,188 @@
+// Antitokens / Fetch&Decrement (paper §1.4.2, Aiello et al.): net-balance
+// semantics at every layer of the stack — sequence formula, quiescent
+// evaluator, and the concurrent runtime.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "cnet/baselines/bitonic.hpp"
+#include "cnet/core/counting.hpp"
+#include "cnet/runtime/network_counter.hpp"
+#include "cnet/seq/sequence.hpp"
+#include "cnet/topology/quiescent.hpp"
+#include "cnet/util/prng.hpp"
+
+namespace cnet {
+namespace {
+
+// --- sequence layer -------------------------------------------------------
+
+TEST(NetBalancer, MatchesTokenFormulaForNonnegativeTotals) {
+  for (std::size_t q = 1; q <= 6; ++q) {
+    for (std::size_t init = 0; init < q; ++init) {
+      for (seq::Value total = 0; total <= 25; ++total) {
+        EXPECT_EQ(seq::balancer_output_net(total, q, init),
+                  seq::balancer_output(total, q, init))
+            << "q=" << q << " init=" << init << " total=" << total;
+      }
+    }
+  }
+}
+
+TEST(NetBalancer, NegativeTotalsAreStepAndSumPreserving) {
+  for (std::size_t q = 1; q <= 6; ++q) {
+    for (seq::Value total = -30; total <= 30; ++total) {
+      const auto y = seq::balancer_output_net(total, q);
+      EXPECT_TRUE(seq::is_step(y)) << "q=" << q << " total=" << total;
+      EXPECT_EQ(seq::sum(y), total);
+    }
+  }
+}
+
+TEST(NetBalancer, AntitokenExitsOnSteppedBackWire) {
+  // One antitoken through a fresh (.,4)-balancer: state 0 -> -1, exits on
+  // wire 3 (the wire a previous token would have used last).
+  const auto y = seq::balancer_output_net(-1, 4);
+  EXPECT_EQ(y, (seq::Sequence{0, 0, 0, -1}));
+}
+
+TEST(NetBalancer, TokenThenAntitokenCancels) {
+  // Net zero leaves every wire at balance zero regardless of init.
+  for (std::size_t q = 2; q <= 5; ++q) {
+    for (std::size_t init = 0; init < q; ++init) {
+      const auto y = seq::balancer_output_net(0, q, init);
+      for (const auto v : y) EXPECT_EQ(v, 0);
+    }
+  }
+}
+
+// --- quiescent evaluator --------------------------------------------------
+
+TEST(NetEvaluate, CountingNetworkStaysStepOnMixedBalances) {
+  const auto nets = {core::make_counting(4, 8), core::make_counting(8, 8),
+                     baselines::make_bitonic(8)};
+  util::Xoshiro256 rng(0xA17);
+  for (const auto& net : nets) {
+    for (int trial = 0; trial < 300; ++trial) {
+      seq::Sequence x(net.width_in());
+      for (auto& v : x) v = rng.range(-10, 10);
+      const auto y = topo::evaluate_net(net, x);
+      ASSERT_TRUE(seq::is_step(y)) << "input balances not merged to step";
+      ASSERT_EQ(seq::sum(y), seq::sum(x));
+    }
+  }
+}
+
+TEST(NetEvaluate, MatchesEvaluateOnNonnegativeInputs) {
+  const auto net = core::make_counting(8, 16);
+  util::Xoshiro256 rng(0xA18);
+  for (int trial = 0; trial < 100; ++trial) {
+    seq::Sequence x(8);
+    for (auto& v : x) v = static_cast<seq::Value>(rng.below(20));
+    EXPECT_EQ(topo::evaluate_net(net, x), topo::evaluate(net, x));
+  }
+}
+
+TEST(NetEvaluate, PlainEvaluateStillRejectsNegatives) {
+  const auto net = core::make_counting(4, 4);
+  EXPECT_THROW((void)topo::evaluate(net, seq::Sequence{-1, 0, 0, 0}),
+               std::invalid_argument);
+}
+
+// --- runtime ----------------------------------------------------------------
+
+TEST(FetchDecrement, ReclaimsTheLastValueSequentially) {
+  rt::NetworkCounter c(core::make_counting(4, 8), "C(4,8)");
+  EXPECT_EQ(c.fetch_increment(0), 0);
+  EXPECT_EQ(c.fetch_increment(1), 1);
+  EXPECT_EQ(c.fetch_increment(2), 2);
+  EXPECT_EQ(c.fetch_decrement(3), 2);  // reclaims 2
+  EXPECT_EQ(c.fetch_increment(0), 2);  // hands 2 out again
+  EXPECT_EQ(c.fetch_increment(1), 3);
+}
+
+// Sequential elimination property: after any prefix with c outstanding
+// increments, the outstanding values are exactly {0..c-1}.
+TEST(FetchDecrement, OutstandingSetIsAlwaysExactPrefix) {
+  rt::NetworkCounter c(core::make_counting(8, 16), "C(8,16)");
+  util::Xoshiro256 rng(0xDEC);
+  std::vector<seq::Value> outstanding;  // sorted invariant: {0..c-1}
+  for (int op = 0; op < 4000; ++op) {
+    const bool inc = outstanding.empty() || rng.below(2) == 0;
+    const std::size_t hint = rng.below(64);
+    if (inc) {
+      const auto v = c.fetch_increment(hint);
+      ASSERT_EQ(v, static_cast<seq::Value>(outstanding.size()))
+          << "increment must extend the prefix";
+      outstanding.push_back(v);
+    } else {
+      const auto v = c.fetch_decrement(hint);
+      ASSERT_EQ(v, outstanding.back())
+          << "decrement must reclaim the top of the prefix";
+      outstanding.pop_back();
+    }
+  }
+}
+
+// Concurrent phases: m increments (threads join), then m decrements
+// (threads join). The multiset of reclaimed values must equal the multiset
+// handed out, and the counter must be back at zero.
+TEST(FetchDecrement, ConcurrentDrainRestoresInitialState) {
+  rt::NetworkCounter c(core::make_counting(8, 24), "C(8,24)");
+  constexpr std::size_t kThreads = 8, kPer = 1500;
+  std::vector<std::vector<seq::Value>> inc_vals(kThreads), dec_vals(kThreads);
+  {
+    std::vector<std::jthread> workers;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        for (std::size_t i = 0; i < kPer; ++i) {
+          inc_vals[t].push_back(c.fetch_increment(t));
+        }
+      });
+    }
+  }
+  {
+    std::vector<std::jthread> workers;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        for (std::size_t i = 0; i < kPer; ++i) {
+          dec_vals[t].push_back(c.fetch_decrement(t));
+        }
+      });
+    }
+  }
+  std::vector<seq::Value> incs, decs;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    incs.insert(incs.end(), inc_vals[t].begin(), inc_vals[t].end());
+    decs.insert(decs.end(), dec_vals[t].begin(), dec_vals[t].end());
+  }
+  std::sort(incs.begin(), incs.end());
+  std::sort(decs.begin(), decs.end());
+  EXPECT_EQ(incs, decs);
+  // Fully drained: the next increment restarts from 0.
+  EXPECT_EQ(c.fetch_increment(0), 0);
+}
+
+TEST(FetchDecrement, CasDisciplineAgreesWithFetchAdd) {
+  rt::NetworkCounter fa(core::make_counting(4, 8), "fa");
+  rt::NetworkCounter cas(core::make_counting(4, 8), "cas",
+                         rt::BalancerMode::kCasRetry);
+  util::Xoshiro256 rng(0xCA5D);
+  std::int64_t outstanding = 0;
+  for (int op = 0; op < 2000; ++op) {
+    const bool inc = outstanding == 0 || rng.below(2) == 0;
+    const std::size_t hint = rng.below(16);
+    if (inc) {
+      EXPECT_EQ(fa.fetch_increment(hint), cas.fetch_increment(hint));
+      ++outstanding;
+    } else {
+      EXPECT_EQ(fa.fetch_decrement(hint), cas.fetch_decrement(hint));
+      --outstanding;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cnet

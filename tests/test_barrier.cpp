@@ -1,0 +1,73 @@
+#include "cnet/runtime/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cnet/core/counting.hpp"
+#include "cnet/runtime/central.hpp"
+#include "cnet/runtime/network_counter.hpp"
+
+namespace cnet::rt {
+namespace {
+
+TEST(Barrier, RejectsBadArguments) {
+  EXPECT_THROW(CountingBarrier(nullptr, 2), std::invalid_argument);
+  EXPECT_THROW(CountingBarrier(std::make_shared<AtomicCounter>(), 0),
+               std::invalid_argument);
+}
+
+TEST(Barrier, SinglePartyNeverBlocks) {
+  CountingBarrier barrier(std::make_shared<AtomicCounter>(), 1);
+  for (std::int64_t phase = 0; phase < 10; ++phase) {
+    EXPECT_EQ(barrier.arrive_and_wait(0), phase);
+  }
+}
+
+// The barrier property: no thread may enter phase k+1 before every thread
+// finished phase k. We detect violations with a per-phase arrival count.
+void run_phase_discipline_test(std::shared_ptr<Counter> counter) {
+  constexpr std::size_t kParties = 6;
+  constexpr std::int64_t kPhases = 50;
+  CountingBarrier barrier(std::move(counter), kParties);
+  std::atomic<std::int64_t> in_phase[kPhases + 1] = {};
+  std::atomic<bool> violation{false};
+
+  {
+    std::vector<std::jthread> workers;
+    for (std::size_t t = 0; t < kParties; ++t) {
+      workers.emplace_back([&, t] {
+        for (std::int64_t phase = 0; phase < kPhases; ++phase) {
+          in_phase[phase].fetch_add(1);
+          const std::int64_t completed = barrier.arrive_and_wait(t);
+          if (completed != phase) violation.store(true);
+          // After the barrier, every party must have entered this phase.
+          if (in_phase[phase].load() != kParties) violation.store(true);
+        }
+      });
+    }
+  }
+  EXPECT_FALSE(violation.load());
+  for (std::int64_t phase = 0; phase < kPhases; ++phase) {
+    EXPECT_EQ(in_phase[phase].load(), static_cast<std::int64_t>(kParties));
+  }
+}
+
+TEST(Barrier, PhaseDisciplineWithAtomicCounter) {
+  run_phase_discipline_test(std::make_shared<AtomicCounter>());
+}
+
+TEST(Barrier, PhaseDisciplineWithCountingNetwork) {
+  run_phase_discipline_test(std::make_shared<NetworkCounter>(
+      core::make_counting(4, 8), "C(4,8)"));
+}
+
+TEST(Barrier, PhaseDisciplineWithMutexCounter) {
+  run_phase_discipline_test(std::make_shared<MutexCounter>());
+}
+
+}  // namespace
+}  // namespace cnet::rt

@@ -1,0 +1,186 @@
+// Baseline networks: bitonic and periodic (AHS'94), diffracting tree
+// topology (Shavit–Zemach). All must be counting networks.
+#include "cnet/baselines/bitonic.hpp"
+#include "cnet/baselines/difftree.hpp"
+#include "cnet/baselines/periodic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cnet/core/butterfly.hpp"
+#include "cnet/core/counting.hpp"
+#include "cnet/seq/sequence.hpp"
+#include "cnet/topology/isomorphism.hpp"
+#include "cnet/topology/quiescent.hpp"
+#include "cnet/util/bitops.hpp"
+#include "test_util.hpp"
+
+namespace cnet::baselines {
+namespace {
+
+// --- Bitonic --------------------------------------------------------------
+
+TEST(Bitonic, DepthMatchesClosedForm) {
+  for (const std::size_t w : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    const std::size_t k = util::ilog2(w);
+    EXPECT_EQ(make_bitonic(w).depth(), (k * k + k) / 2) << w;
+  }
+}
+
+TEST(Bitonic, SameDepthAsCountingNetwork) {
+  // §1.3.1: depth(C(w,t)) equals the bitonic depth for every t.
+  for (const std::size_t w : {4u, 8u, 16u}) {
+    EXPECT_EQ(make_bitonic(w).depth(), core::make_counting(w, w).depth());
+    EXPECT_EQ(make_bitonic(w).depth(),
+              core::make_counting(w, 4 * w).depth());
+  }
+}
+
+TEST(Bitonic, IsRegularAllTwoTwo) {
+  const auto net = make_bitonic(16);
+  EXPECT_TRUE(net.is_regular());
+  const auto census = net.census();
+  ASSERT_EQ(census.size(), 1u);
+  EXPECT_EQ(census[0].fan_in, 2u);
+  EXPECT_EQ(census[0].fan_out, 2u);
+}
+
+TEST(Bitonic, CountsExhaustivelySmall) {
+  for (const std::size_t w : {2u, 4u, 8u}) {
+    EXPECT_FALSE(
+        topo::check_counting_exhaustive(make_bitonic(w), 3).has_value())
+        << w;
+  }
+}
+
+class BitonicRandom : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitonicRandom, CountsOnRandomInputs) {
+  const std::size_t w = GetParam();
+  const auto net = make_bitonic(w);
+  util::Xoshiro256 rng(0xB170 + w);
+  EXPECT_FALSE(topo::check_counting_random(net, 300, 50, rng).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BitonicRandom,
+                         ::testing::Values(16, 32, 64, 128),
+                         ::testing::PrintToStringParamName());
+
+TEST(Bitonic, MergerMergesStepPairs) {
+  const auto merger = make_bitonic_merger(16);
+  EXPECT_EQ(merger.depth(), 4u);  // lg t — contrast with M(t, δ)'s lg δ
+  for (seq::Value sx = 0; sx <= 24; ++sx) {
+    for (seq::Value sy = 0; sy <= 24; ++sy) {
+      auto input = seq::make_step(8, sx);
+      const auto y = seq::make_step(8, sy);
+      input.insert(input.end(), y.begin(), y.end());
+      EXPECT_TRUE(seq::is_step(topo::evaluate(merger, input)))
+          << sx << "," << sy;
+    }
+  }
+}
+
+TEST(Bitonic, NotIsomorphicToCwwForW8) {
+  // §3.3: the constructions differ even at w == t (non-isomorphic).
+  const auto bitonic = make_bitonic(8);
+  const auto cww = core::make_counting(8, 8);
+  EXPECT_FALSE(topo::are_isomorphic(bitonic, cww));
+}
+
+TEST(Bitonic, RejectsBadWidth) {
+  EXPECT_THROW((void)make_bitonic(6), std::invalid_argument);
+  EXPECT_THROW((void)make_bitonic(1), std::invalid_argument);
+}
+
+// --- Periodic ---------------------------------------------------------------
+
+TEST(Periodic, DepthIsLgSquared) {
+  for (const std::size_t w : {2u, 4u, 8u, 16u, 32u}) {
+    const std::size_t k = util::ilog2(w);
+    EXPECT_EQ(make_periodic(w).depth(), k * k) << w;
+    EXPECT_EQ(make_block(w).depth(), k) << w;
+  }
+}
+
+TEST(Periodic, BlockIsomorphicToButterfly) {
+  // The AHS Block[w] has the butterfly wiring diagram.
+  for (const std::size_t w : {4u, 8u}) {
+    EXPECT_TRUE(topo::are_isomorphic(
+        make_block(w), core::make_forward_butterfly(w)))
+        << w;
+  }
+}
+
+TEST(Periodic, CountsExhaustivelySmall) {
+  for (const std::size_t w : {2u, 4u, 8u}) {
+    EXPECT_FALSE(
+        topo::check_counting_exhaustive(make_periodic(w), 3).has_value())
+        << w;
+  }
+}
+
+class PeriodicRandom : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PeriodicRandom, CountsOnRandomInputs) {
+  const std::size_t w = GetParam();
+  const auto net = make_periodic(w);
+  util::Xoshiro256 rng(0x9E10 + w);
+  EXPECT_FALSE(topo::check_counting_random(net, 200, 50, rng).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PeriodicRandom, ::testing::Values(16, 32, 64),
+                         ::testing::PrintToStringParamName());
+
+TEST(Periodic, SingleBlockDoesNotCount) {
+  // One block is only a smoothing stage; lg w blocks are required.
+  const auto net = make_block(8);
+  EXPECT_TRUE(topo::check_counting_exhaustive(net, 2).has_value());
+}
+
+// --- Diffracting tree -------------------------------------------------------
+
+TEST(DiffTree, ShapeAndDepth) {
+  for (const std::size_t w : {2u, 4u, 8u, 16u, 32u}) {
+    const auto net = make_diffracting_tree(w);
+    EXPECT_EQ(net.width_in(), 1u);
+    EXPECT_EQ(net.width_out(), w);
+    EXPECT_EQ(net.depth(), util::ilog2(w));
+    EXPECT_EQ(net.num_balancers(), w - 1);  // internal nodes of a full tree
+    EXPECT_FALSE(net.is_regular());
+  }
+}
+
+TEST(DiffTree, CountsForAnyTokenCount) {
+  for (const std::size_t w : {2u, 4u, 8u, 16u}) {
+    const auto net = make_diffracting_tree(w);
+    for (seq::Value m = 0; m <= static_cast<seq::Value>(4 * w); ++m) {
+      const seq::Sequence x = {m};
+      const auto y = topo::evaluate(net, x);
+      ASSERT_TRUE(seq::is_step(y)) << "w=" << w << " m=" << m;
+      ASSERT_EQ(seq::sum(y), m);
+    }
+  }
+}
+
+TEST(DiffTree, LeafOrderIsBitReversed) {
+  // With m = 1 token, it must exit on output 0; with m = 2, outputs 0 and 1;
+  // the i-th token lands on leaf with bit-reversed path — the output
+  // *ordering* hides this, i.e. outputs fill 0,1,2,... in order.
+  const auto net = make_diffracting_tree(8);
+  for (seq::Value m = 0; m <= 8; ++m) {
+    const auto y = topo::evaluate(net, seq::Sequence{m});
+    for (seq::Value i = 0; i < 8; ++i) {
+      EXPECT_EQ(y[static_cast<std::size_t>(i)], i < m ? 1 : 0)
+          << "m=" << m << " i=" << i;
+    }
+  }
+}
+
+TEST(DiffTree, RejectsBadWidth) {
+  EXPECT_THROW((void)make_diffracting_tree(3), std::invalid_argument);
+  EXPECT_THROW((void)make_diffracting_tree(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cnet::baselines

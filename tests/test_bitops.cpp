@@ -1,0 +1,66 @@
+#include "cnet/util/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cnet::util {
+namespace {
+
+TEST(Bitops, IsPow2RecognizesPowers) {
+  for (unsigned k = 0; k < 63; ++k) {
+    EXPECT_TRUE(is_pow2(1ULL << k)) << "2^" << k;
+  }
+}
+
+TEST(Bitops, IsPow2RejectsZero) { EXPECT_FALSE(is_pow2(0)); }
+
+TEST(Bitops, IsPow2RejectsComposites) {
+  for (const std::uint64_t v : {3ULL, 5ULL, 6ULL, 7ULL, 12ULL, 100ULL,
+                                (1ULL << 20) + 1}) {
+    EXPECT_FALSE(is_pow2(v)) << v;
+  }
+}
+
+TEST(Bitops, Ilog2ExactPowers) {
+  for (unsigned k = 0; k < 63; ++k) {
+    EXPECT_EQ(ilog2(1ULL << k), k);
+  }
+}
+
+TEST(Bitops, Ilog2Floors) {
+  EXPECT_EQ(ilog2(3), 1u);
+  EXPECT_EQ(ilog2(5), 2u);
+  EXPECT_EQ(ilog2(1023), 9u);
+  EXPECT_EQ(ilog2(1025), 10u);
+}
+
+TEST(Bitops, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 3), 0u);
+  EXPECT_EQ(ceil_div(1, 3), 1u);
+  EXPECT_EQ(ceil_div(3, 3), 1u);
+  EXPECT_EQ(ceil_div(4, 3), 2u);
+  EXPECT_EQ(ceil_div(9, 3), 3u);
+}
+
+TEST(Bitops, BitReverseRoundTrips) {
+  for (unsigned bits = 1; bits <= 10; ++bits) {
+    for (std::uint64_t v = 0; v < (1ULL << bits); ++v) {
+      EXPECT_EQ(bit_reverse(bit_reverse(v, bits), bits), v);
+    }
+  }
+}
+
+TEST(Bitops, BitReverseKnownValues) {
+  EXPECT_EQ(bit_reverse(0b001, 3), 0b100u);
+  EXPECT_EQ(bit_reverse(0b011, 3), 0b110u);
+  EXPECT_EQ(bit_reverse(0b101, 3), 0b101u);
+}
+
+TEST(Bitops, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(17), 32u);
+}
+
+}  // namespace
+}  // namespace cnet::util

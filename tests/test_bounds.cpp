@@ -1,0 +1,113 @@
+// The analysis module's closed forms must agree with the constructions —
+// i.e. the paper's counting arguments, re-derived by building the networks.
+#include "cnet/analysis/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cnet/baselines/bitonic.hpp"
+#include "cnet/baselines/periodic.hpp"
+#include "cnet/core/butterfly.hpp"
+#include "cnet/core/counting.hpp"
+#include "cnet/core/merging.hpp"
+#include "cnet/util/bitops.hpp"
+
+namespace cnet::analysis {
+namespace {
+
+TEST(Bounds, CountingDepthMatchesConstruction) {
+  for (const std::size_t w : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    EXPECT_EQ(counting_depth(w), core::make_counting(w, w).depth());
+    EXPECT_EQ(counting_depth(w), baselines::make_bitonic(w).depth());
+  }
+}
+
+TEST(Bounds, PeriodicDepthMatchesConstruction) {
+  for (const std::size_t w : {2u, 4u, 8u, 16u, 32u}) {
+    EXPECT_EQ(periodic_depth(w), baselines::make_periodic(w).depth());
+  }
+}
+
+TEST(Bounds, MergingDepthMatchesConstruction) {
+  for (const std::size_t t : {16u, 32u, 64u}) {
+    for (std::size_t delta = 2; 2 * delta <= t; delta *= 2) {
+      EXPECT_EQ(merging_depth(delta), core::make_merging(t, delta).depth());
+      EXPECT_EQ(merging_balancers(t, delta),
+                core::make_merging(t, delta).num_balancers());
+    }
+  }
+}
+
+TEST(Bounds, BalancerCountsMatchConstructions) {
+  for (const std::size_t w : {4u, 8u, 16u, 32u}) {
+    EXPECT_EQ(bitonic_balancers(w),
+              baselines::make_bitonic(w).num_balancers());
+    EXPECT_EQ(periodic_balancers(w),
+              baselines::make_periodic(w).num_balancers());
+    for (const std::size_t p : {1u, 2u, 3u, 4u}) {
+      EXPECT_EQ(counting_balancers(w, p * w),
+                core::make_counting(w, p * w).num_balancers())
+          << "w=" << w << " p=" << p;
+    }
+  }
+}
+
+TEST(Bounds, PrefixSmoothnessMatchesCoreHelper) {
+  for (const std::size_t w : {4u, 8u, 16u}) {
+    for (const std::size_t p : {1u, 2u, 4u}) {
+      EXPECT_EQ(prefix_smoothness(w, p * w),
+                core::prefix_smoothness_bound(w, p * w));
+    }
+  }
+}
+
+TEST(Bounds, LayerContention) {
+  // Corollary 6.4 with q=2, n=64, W=16, k=3: 2·64/16 + 2·4 = 16.
+  EXPECT_DOUBLE_EQ(layer_contention_bound(2, 64, 16, 3), 16.0);
+}
+
+TEST(Bounds, ContentionBoundDecreasesInT) {
+  const std::size_t w = 16, n = 512;
+  double prev = counting_contention_bound(w, w, n);
+  for (std::size_t t = 2 * w; t <= 64 * w; t *= 2) {
+    const double cur = counting_contention_bound(w, t, n);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Bounds, ContentionBoundBeatsBitonicLeadingAtLargeT) {
+  // For t = w·lgw and n = w·lgw the paper's bound is O(n·lgw/w) while the
+  // bitonic leading term is n·lg²w/w — the gap must widen with w.
+  double prev_ratio = 0;
+  for (const std::size_t w : {256u, 1024u, 4096u, 16384u}) {
+    const std::size_t lgw = util::ilog2(w);
+    const std::size_t n = 64 * w;
+    const double ours = counting_contention_bound(w, w * lgw, n);
+    const double bitonic = bitonic_contention_leading(w, n);
+    const double ratio = bitonic / ours;
+    EXPECT_GT(ratio, prev_ratio) << w;
+    prev_ratio = ratio;
+  }
+}
+
+TEST(Bounds, PeriodicLeadingWorstOfTheThree) {
+  for (const std::size_t w : {8u, 64u}) {
+    const std::size_t n = 16 * w;
+    EXPECT_GT(periodic_contention_leading(w, n),
+              bitonic_contention_leading(w, n));
+  }
+}
+
+TEST(Bounds, DomainChecks) {
+  EXPECT_THROW((void)counting_depth(3), std::invalid_argument);
+  EXPECT_THROW((void)counting_depth(0), std::invalid_argument);
+  EXPECT_THROW((void)merging_depth(1), std::invalid_argument);
+  EXPECT_THROW((void)counting_balancers(8, 12), std::invalid_argument);
+  EXPECT_THROW((void)counting_contention_bound(8, 4, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cnet::analysis

@@ -1,0 +1,155 @@
+// Butterflies: Lemma 5.1 (depth), Lemma 5.2 (lgw-smoothing), Lemma 5.3
+// (isomorphism D ≅ E), Lemma 6.6 (prefix smoothness bound).
+#include "cnet/core/butterfly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnet/core/counting.hpp"
+#include "cnet/seq/sequence.hpp"
+#include "cnet/topology/isomorphism.hpp"
+#include "cnet/topology/quiescent.hpp"
+#include "cnet/util/bitops.hpp"
+#include "test_util.hpp"
+
+namespace cnet::core {
+namespace {
+
+TEST(Butterfly, DepthIsLgW) {
+  for (const std::size_t w : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    EXPECT_EQ(make_forward_butterfly(w).depth(), util::ilog2(w));
+    EXPECT_EQ(make_backward_butterfly(w).depth(), util::ilog2(w));
+  }
+}
+
+TEST(Butterfly, BalancerCountIsHalfWLgW) {
+  for (const std::size_t w : {2u, 4u, 8u, 16u, 32u}) {
+    EXPECT_EQ(make_forward_butterfly(w).num_balancers(),
+              w / 2 * util::ilog2(w));
+    EXPECT_EQ(make_backward_butterfly(w).num_balancers(),
+              w / 2 * util::ilog2(w));
+  }
+}
+
+TEST(Butterfly, WidthOneIsAWire) {
+  const auto d = make_forward_butterfly(1);
+  EXPECT_EQ(d.num_balancers(), 0u);
+  EXPECT_EQ(d.depth(), 0u);
+}
+
+// Lemma 5.2: D(w) is lgw-smoothing. Measured worst case must respect the
+// bound; we also check it is not wildly loose (>= 1 for w >= 4 under skew).
+class ButterflySmoothing : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ButterflySmoothing, ForwardWithinLgW) {
+  const std::size_t w = GetParam();
+  const auto net = make_forward_butterfly(w);
+  util::Xoshiro256 rng(42 + w);
+  const auto worst = topo::max_output_smoothness_random(net, 400, 60, rng);
+  EXPECT_LE(worst, static_cast<seq::Value>(util::ilog2(w)));
+}
+
+TEST_P(ButterflySmoothing, BackwardWithinLgW) {
+  // Isomorphic to D(w) (Lemma 5.3), hence also lgw-smoothing (Lemma 2.8).
+  const std::size_t w = GetParam();
+  const auto net = make_backward_butterfly(w);
+  util::Xoshiro256 rng(43 + w);
+  const auto worst = topo::max_output_smoothness_random(net, 400, 60, rng);
+  EXPECT_LE(worst, static_cast<seq::Value>(util::ilog2(w)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ButterflySmoothing,
+                         ::testing::Values(2, 4, 8, 16, 32, 64),
+                         ::testing::PrintToStringParamName());
+
+TEST(Butterfly, SumPreservation) {
+  const auto net = make_backward_butterfly(16);
+  util::Xoshiro256 rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto x = test::random_input(16, 30, rng);
+    EXPECT_EQ(seq::sum(topo::evaluate(net, x)), seq::sum(x));
+  }
+}
+
+// Lemma 5.3: E(w) ≅ D(w), by explicit isomorphism search.
+class ButterflyIso : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ButterflyIso, BackwardIsomorphicToForward) {
+  const std::size_t w = GetParam();
+  const auto d = make_forward_butterfly(w);
+  const auto e = make_backward_butterfly(w);
+  const auto mapping = topo::find_isomorphism(e, d);
+  ASSERT_TRUE(mapping.has_value()) << "no isomorphism for w=" << w;
+  EXPECT_TRUE(topo::verify_isomorphism(e, d, *mapping));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ButterflyIso, ::testing::Values(2, 4, 8, 16),
+                         ::testing::PrintToStringParamName());
+
+// Lemma 6.6: the C(w,t) prefix N_a,b is s-smoothing, s = floor(w·lgw/t)+2.
+class PrefixSmoothing
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(PrefixSmoothing, WithinLemma66Bound) {
+  const auto [w, t] = GetParam();
+  const auto net = make_counting_prefix(w, t);
+  EXPECT_EQ(net.width_in(), w);
+  EXPECT_EQ(net.width_out(), t);
+  EXPECT_EQ(net.depth(), util::ilog2(w));
+  util::Xoshiro256 rng(99 + w + t);
+  const auto worst = topo::max_output_smoothness_random(net, 400, 60, rng);
+  EXPECT_LE(worst,
+            static_cast<seq::Value>(prefix_smoothness_bound(w, t)))
+      << "w=" << w << " t=" << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PrefixSmoothing,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{4, 4},
+                      std::pair<std::size_t, std::size_t>{4, 8},
+                      std::pair<std::size_t, std::size_t>{8, 8},
+                      std::pair<std::size_t, std::size_t>{8, 16},
+                      std::pair<std::size_t, std::size_t>{8, 32},
+                      std::pair<std::size_t, std::size_t>{16, 16},
+                      std::pair<std::size_t, std::size_t>{16, 64},
+                      std::pair<std::size_t, std::size_t>{32, 32},
+                      std::pair<std::size_t, std::size_t>{32, 160}),
+    [](const auto& pinfo) {
+      return "w" + std::to_string(pinfo.param.first) + "_t" +
+             std::to_string(pinfo.param.second);
+    });
+
+TEST(Prefix, BoundFormula) {
+  EXPECT_EQ(prefix_smoothness_bound(8, 8), 5u);    // 3 + 2
+  EXPECT_EQ(prefix_smoothness_bound(8, 24), 3u);   // 1 + 2
+  EXPECT_EQ(prefix_smoothness_bound(8, 32), 2u);   // 0 + 2
+  EXPECT_EQ(prefix_smoothness_bound(16, 64), 3u);  // 1 + 2
+}
+
+TEST(Prefix, RegularPrefixEqualsBackwardButterfly) {
+  // With t == w the prefix is exactly E(w).
+  const auto prefix = make_counting_prefix(8, 8);
+  const auto e = make_backward_butterfly(8);
+  EXPECT_TRUE(topo::are_isomorphic(prefix, e));
+}
+
+// The prefix of C(w,t) really is the first lgw layers of C(w,t): same
+// balancer census per layer.
+TEST(Prefix, MatchesCountingNetworkPrefixLayers) {
+  const std::size_t w = 8, t = 16;
+  const auto full = make_counting(w, t);
+  const auto prefix = make_counting_prefix(w, t);
+  const std::size_t lgw = util::ilog2(w);
+  for (std::size_t layer = 0; layer < lgw; ++layer) {
+    ASSERT_EQ(full.layers()[layer].size(), prefix.layers()[layer].size())
+        << "layer " << layer;
+    for (std::size_t i = 0; i < full.layers()[layer].size(); ++i) {
+      const auto& bf = full.balancer(full.layers()[layer][i]);
+      const auto& bp = prefix.balancer(prefix.layers()[layer][i]);
+      EXPECT_EQ(bf.fan_in(), bp.fan_in());
+      EXPECT_EQ(bf.fan_out(), bp.fan_out());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cnet::core

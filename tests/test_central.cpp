@@ -1,0 +1,70 @@
+#include "cnet/runtime/central.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "test_util.hpp"
+
+namespace cnet::rt {
+namespace {
+
+template <class C>
+std::vector<seq::Value> hammer(C& counter, std::size_t threads,
+                               std::size_t per_thread) {
+  std::vector<std::vector<seq::Value>> got(threads);
+  {
+    std::vector<std::jthread> workers;
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        for (std::size_t i = 0; i < per_thread; ++i) {
+          got[t].push_back(counter.fetch_increment(t));
+        }
+      });
+    }
+  }
+  std::vector<seq::Value> all;
+  for (auto& v : got) all.insert(all.end(), v.begin(), v.end());
+  return all;
+}
+
+TEST(AtomicCounter, SequentialOrder) {
+  AtomicCounter c;
+  for (std::int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(c.fetch_increment(0), i);
+  }
+}
+
+TEST(AtomicCounter, ConcurrentExactRange) {
+  AtomicCounter c;
+  EXPECT_TRUE(test::is_exact_range(hammer(c, 8, 5000)));
+}
+
+TEST(CasCounter, ConcurrentExactRange) {
+  CasCounter c;
+  EXPECT_TRUE(test::is_exact_range(hammer(c, 8, 5000)));
+}
+
+TEST(CasCounter, SequentialHasNoStalls) {
+  CasCounter c;
+  for (int i = 0; i < 1000; ++i) (void)c.fetch_increment(0);
+  EXPECT_EQ(c.stall_count(), 0u);
+}
+
+TEST(MutexCounter, ConcurrentExactRange) {
+  MutexCounter c;
+  EXPECT_TRUE(test::is_exact_range(hammer(c, 8, 5000)));
+}
+
+TEST(Names, AreDistinct) {
+  AtomicCounter a;
+  CasCounter b;
+  MutexCounter m;
+  EXPECT_NE(a.name(), b.name());
+  EXPECT_NE(a.name(), m.name());
+  EXPECT_NE(b.name(), m.name());
+}
+
+}  // namespace
+}  // namespace cnet::rt

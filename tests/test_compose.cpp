@@ -1,0 +1,109 @@
+// Composition: cascades and stacks are first-class networks with the
+// expected combinatorial and behavioural properties.
+#include "cnet/topology/compose.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnet/baselines/periodic.hpp"
+#include "cnet/core/butterfly.hpp"
+#include "cnet/core/counting.hpp"
+#include "cnet/core/ladder.hpp"
+#include "cnet/topology/isomorphism.hpp"
+#include "cnet/util/bitops.hpp"
+#include "cnet/topology/quiescent.hpp"
+#include "cnet/util/prng.hpp"
+#include "test_util.hpp"
+
+namespace cnet::topo {
+namespace {
+
+TEST(Cascade, WidthsAndSizesAdd) {
+  const auto a = core::make_ladder(8);
+  const auto b = core::make_backward_butterfly(8);
+  const auto c = cascade(a, b);
+  EXPECT_EQ(c.width_in(), 8u);
+  EXPECT_EQ(c.width_out(), 8u);
+  EXPECT_EQ(c.num_balancers(), a.num_balancers() + b.num_balancers());
+  EXPECT_EQ(c.depth(), a.depth() + b.depth());
+}
+
+TEST(Cascade, RejectsWidthMismatch) {
+  EXPECT_THROW(
+      (void)cascade(core::make_ladder(4), core::make_ladder(8)),
+      std::invalid_argument);
+}
+
+TEST(Cascade, BehavesLikeSequentialEvaluation) {
+  const auto a = core::make_forward_butterfly(8);
+  const auto b = core::make_counting(8, 8);
+  const auto c = cascade(a, b);
+  util::Xoshiro256 rng(0xCA5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto x = test::random_input(8, 30, rng);
+    EXPECT_EQ(evaluate(c, x), evaluate(b, evaluate(a, x)));
+  }
+}
+
+TEST(Cascade, PeriodicEqualsCascadedBlocks) {
+  // make_periodic is lg w blocks; rebuilding it via cascade_n must give an
+  // isomorphic network.
+  for (const std::size_t w : {4u, 8u}) {
+    const auto block = baselines::make_block(w);
+    const auto via_cascade = cascade_n(block, util::ilog2(w));
+    EXPECT_TRUE(are_isomorphic(via_cascade, baselines::make_periodic(w)))
+        << w;
+  }
+}
+
+TEST(Cascade, CountingStageMakesCascadeCount) {
+  // smoothing-then-counting cascades count.
+  const auto net = cascade(core::make_forward_butterfly(8),
+                           core::make_counting(8, 16));
+  util::Xoshiro256 rng(0xCA6);
+  EXPECT_FALSE(check_counting_random(net, 200, 30, rng).has_value());
+}
+
+TEST(CascadeN, RejectsBadArguments) {
+  EXPECT_THROW((void)cascade_n(core::make_ladder(4), 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)cascade_n(core::make_counting(4, 8), 2),
+               std::invalid_argument);  // 4 != 8
+}
+
+TEST(Stack, WidthsConcatenate) {
+  const auto s = stack(core::make_ladder(4), core::make_counting(4, 8));
+  EXPECT_EQ(s.width_in(), 8u);
+  EXPECT_EQ(s.width_out(), 12u);
+}
+
+TEST(Stack, HalvesAreIndependent) {
+  const auto top = core::make_counting(4, 4);
+  const auto bottom = core::make_counting(4, 4);
+  const auto s = stack(top, bottom);
+  util::Xoshiro256 rng(0x57AC);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto xt = test::random_input(4, 20, rng);
+    const auto xb = test::random_input(4, 20, rng);
+    seq::Sequence x = xt;
+    x.insert(x.end(), xb.begin(), xb.end());
+    const auto y = evaluate(s, x);
+    const auto yt = evaluate(top, xt);
+    const auto yb = evaluate(bottom, xb);
+    seq::Sequence expected = yt;
+    expected.insert(expected.end(), yb.begin(), yb.end());
+    EXPECT_EQ(y, expected);
+  }
+}
+
+TEST(Stack, PlusLadderEqualsButterflyRecursion) {
+  // E(w) = L(w) then stack(E(w/2), E(w/2)): rebuild via compose and check
+  // isomorphism with the library construction.
+  const std::size_t w = 8;
+  const auto manual = cascade(
+      core::make_ladder(w), stack(core::make_backward_butterfly(w / 2),
+                                  core::make_backward_butterfly(w / 2)));
+  EXPECT_TRUE(are_isomorphic(manual, core::make_backward_butterfly(w)));
+}
+
+}  // namespace
+}  // namespace cnet::topo

@@ -1,0 +1,111 @@
+// Contention measurement harness + reproduction of the paper's asymptotic
+// ordering (Theorem 6.7 / §1.3.1) at test-sized parameters.
+#include "cnet/sim/contention.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cnet/baselines/bitonic.hpp"
+#include "cnet/core/counting.hpp"
+#include "cnet/util/bitops.hpp"
+
+namespace cnet::sim {
+namespace {
+
+TEST(Contention, SingleProcessHasZeroContention) {
+  const auto net = core::make_counting(8, 8);
+  ContentionConfig cfg;
+  cfg.concurrency = 1;
+  cfg.generations = 16;
+  const auto report = measure_contention(net, cfg);
+  EXPECT_EQ(report.total_stalls, 0u);
+  EXPECT_EQ(report.stalls_per_token, 0.0);
+}
+
+TEST(Contention, PerLayerSumsToTotal) {
+  const auto net = baselines::make_bitonic(16);
+  ContentionConfig cfg;
+  cfg.concurrency = 32;
+  cfg.generations = 16;
+  const auto report = measure_contention(net, cfg);
+  const double sum = std::accumulate(report.per_layer.begin(),
+                                     report.per_layer.end(), 0.0);
+  EXPECT_NEAR(sum, report.stalls_per_token, 1e-9);
+}
+
+TEST(Contention, GrowsWithConcurrency) {
+  const auto net = baselines::make_bitonic(8);
+  ContentionConfig cfg;
+  cfg.generations = 32;
+  cfg.concurrency = 8;
+  const double low = measure_contention(net, cfg).stalls_per_token;
+  cfg.concurrency = 64;
+  const double high = measure_contention(net, cfg).stalls_per_token;
+  EXPECT_GT(high, low);
+}
+
+// §1.3.1: at the same w and high n, raising t lowers contention. This is
+// the headline claim; the wavefront adversary should exhibit it clearly.
+TEST(Contention, WiderOutputReducesContention) {
+  const std::size_t w = 8;
+  const std::size_t n = 128;
+  ContentionConfig cfg;
+  cfg.concurrency = n;
+  cfg.generations = 32;
+  const double narrow =
+      measure_contention(core::make_counting(w, w), cfg).stalls_per_token;
+  const double wide =
+      measure_contention(core::make_counting(w, 8 * w), cfg).stalls_per_token;
+  EXPECT_LT(wide, narrow * 0.8)
+      << "t=w: " << narrow << "  t=8w: " << wide;
+}
+
+// C(w, w·lgw) should beat the bitonic network of the same width at high
+// concurrency (the lg w factor of §1.3.1).
+TEST(Contention, BeatsBitonicAtHighConcurrency) {
+  const std::size_t w = 16;
+  const std::size_t lgw = util::ilog2(w);
+  ContentionConfig cfg;
+  cfg.concurrency = w * lgw * 4;  // n > w lg w
+  cfg.generations = 32;
+  const double ours = measure_contention(core::make_counting(w, w * lgw), cfg)
+                          .stalls_per_token;
+  const double bitonic =
+      measure_contention(baselines::make_bitonic(w), cfg).stalls_per_token;
+  EXPECT_LT(ours, bitonic) << "C: " << ours << "  bitonic: " << bitonic;
+}
+
+TEST(Contention, RandomSchedulerProducesLessContentionThanAdversary) {
+  const auto net = baselines::make_bitonic(16);
+  ContentionConfig cfg;
+  cfg.concurrency = 64;
+  cfg.generations = 32;
+  cfg.scheduler = SchedulerKind::kWavefrontConvoy;
+  const double adversary = measure_contention(net, cfg).stalls_per_token;
+  cfg.scheduler = SchedulerKind::kRandom;
+  const double random = measure_contention(net, cfg).stalls_per_token;
+  EXPECT_LE(random, adversary * 1.5);
+  EXPECT_GT(adversary, 0.0);
+}
+
+TEST(Contention, GroupStallsAggregates) {
+  const std::vector<double> per_layer = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<std::string> groups = {"a", "a", "b", "c"};
+  const auto out = group_stalls(per_layer, groups);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].group, "a");
+  EXPECT_DOUBLE_EQ(out[0].stalls_per_token, 3.0);
+  EXPECT_DOUBLE_EQ(out[1].stalls_per_token, 3.0);
+  EXPECT_DOUBLE_EQ(out[2].stalls_per_token, 4.0);
+}
+
+TEST(Contention, GroupStallsRejectsMismatch) {
+  EXPECT_THROW(
+      (void)group_stalls(std::vector<double>{1.0},
+                         std::vector<std::string>{"a", "b"}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cnet::sim

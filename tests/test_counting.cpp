@@ -1,0 +1,213 @@
+// C(w, t): Theorem 4.1 (depth), Theorem 4.2 (counting), block decomposition
+// (§1.3.2 / Fig. 3), and the Fig. 1 worked example.
+#include "cnet/core/counting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cnet/seq/sequence.hpp"
+#include "cnet/topology/quiescent.hpp"
+#include "cnet/util/bitops.hpp"
+#include "test_util.hpp"
+
+namespace cnet::core {
+namespace {
+
+TEST(CountingParams, Validity) {
+  EXPECT_TRUE(is_valid_counting_params(2, 2));
+  EXPECT_TRUE(is_valid_counting_params(2, 6));
+  EXPECT_TRUE(is_valid_counting_params(4, 4));
+  EXPECT_TRUE(is_valid_counting_params(4, 8));
+  EXPECT_TRUE(is_valid_counting_params(8, 24));
+  EXPECT_FALSE(is_valid_counting_params(3, 6));   // w not a power of two
+  EXPECT_FALSE(is_valid_counting_params(4, 6));   // t not a multiple of w
+  EXPECT_FALSE(is_valid_counting_params(4, 2));   // t < w
+  EXPECT_FALSE(is_valid_counting_params(1, 1));
+}
+
+TEST(CountingParams, ConstructorRejectsInvalid) {
+  EXPECT_THROW((void)make_counting(3, 6), std::invalid_argument);
+  EXPECT_THROW((void)make_counting(4, 6), std::invalid_argument);
+  EXPECT_THROW((void)make_counting(4, 2), std::invalid_argument);
+}
+
+// Theorem 4.1: depth(C(w,t)) = (lg²w + lgw)/2 — independent of t.
+TEST(Counting, DepthMatchesTheorem41) {
+  for (const std::size_t w : {2u, 4u, 8u, 16u, 32u}) {
+    const std::size_t k = util::ilog2(w);
+    for (const std::size_t p : {1u, 2u, 3u, 4u}) {
+      const auto net = make_counting(w, p * w);
+      EXPECT_EQ(net.depth(), (k * k + k) / 2) << "w=" << w << " p=" << p;
+      EXPECT_EQ(net.depth(), counting_depth(w));
+    }
+  }
+}
+
+TEST(Counting, WidthsAndRegularity) {
+  const auto regular = make_counting(8, 8);
+  EXPECT_EQ(regular.width_in(), 8u);
+  EXPECT_EQ(regular.width_out(), 8u);
+  EXPECT_TRUE(regular.is_regular());
+
+  const auto irregular = make_counting(8, 16);
+  EXPECT_EQ(irregular.width_in(), 8u);
+  EXPECT_EQ(irregular.width_out(), 16u);
+  EXPECT_FALSE(irregular.is_regular());
+}
+
+TEST(Counting, UsesOnlyTheTwoBalancerShapes) {
+  // C(w, p·w) is built from (2,2)- and (2,2p)-balancers (paper §1.3.1).
+  const auto net = make_counting(8, 24);  // p = 3
+  for (const auto& row : net.census()) {
+    EXPECT_EQ(row.fan_in, 2u);
+    EXPECT_TRUE(row.fan_out == 2 || row.fan_out == 6)
+        << "unexpected fanout " << row.fan_out;
+  }
+}
+
+TEST(Counting, BaseCaseIsSingleBalancer) {
+  const auto net = make_counting(2, 6);
+  EXPECT_EQ(net.num_balancers(), 1u);
+  EXPECT_EQ(net.depth(), 1u);
+  const auto census = net.census();
+  ASSERT_EQ(census.size(), 1u);
+  EXPECT_EQ(census[0].fan_out, 6u);
+}
+
+// Fig. 1 right: C(4,8) — reproduce the figure's token distribution. The
+// figure shows 10 tokens entering; the outputs satisfy the step property
+// with sums preserved.
+TEST(Counting, FigureOneDistribution) {
+  const auto net = make_counting(4, 8);
+  const seq::Sequence x = {3, 1, 2, 4};
+  const auto y = topo::evaluate(net, x);
+  EXPECT_TRUE(seq::is_step(y));
+  EXPECT_EQ(seq::sum(y), 10);
+  EXPECT_EQ(y, (seq::Sequence{2, 2, 1, 1, 1, 1, 1, 1}));
+}
+
+// Theorem 4.2 — exhaustive for small networks.
+class CountingExhaustive
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(CountingExhaustive, StepOnEveryInput) {
+  const auto [w, t] = GetParam();
+  const auto net = make_counting(w, t);
+  EXPECT_FALSE(topo::check_counting_exhaustive(net, 3).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Small, CountingExhaustive,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{2, 2},
+                      std::pair<std::size_t, std::size_t>{2, 4},
+                      std::pair<std::size_t, std::size_t>{2, 8},
+                      std::pair<std::size_t, std::size_t>{4, 4},
+                      std::pair<std::size_t, std::size_t>{4, 8},
+                      std::pair<std::size_t, std::size_t>{4, 12},
+                      std::pair<std::size_t, std::size_t>{8, 8},
+                      std::pair<std::size_t, std::size_t>{8, 16}),
+    [](const auto& pinfo) {
+      return "w" + std::to_string(pinfo.param.first) + "_t" +
+             std::to_string(pinfo.param.second);
+    });
+
+// Theorem 4.2 — randomized for larger networks.
+class CountingRandom
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(CountingRandom, StepOnRandomInputs) {
+  const auto [w, t] = GetParam();
+  const auto net = make_counting(w, t);
+  util::Xoshiro256 rng(0xC0DE + w * 131 + t);
+  const auto witness = topo::check_counting_random(net, 300, 50, rng);
+  EXPECT_FALSE(witness.has_value())
+      << "counter-example input found for C(" << w << "," << t << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CountingRandom,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{8, 24},
+                      std::pair<std::size_t, std::size_t>{16, 16},
+                      std::pair<std::size_t, std::size_t>{16, 32},
+                      std::pair<std::size_t, std::size_t>{16, 64},
+                      std::pair<std::size_t, std::size_t>{32, 32},
+                      std::pair<std::size_t, std::size_t>{32, 64},
+                      std::pair<std::size_t, std::size_t>{32, 160},
+                      std::pair<std::size_t, std::size_t>{64, 64},
+                      std::pair<std::size_t, std::size_t>{64, 384},
+                      std::pair<std::size_t, std::size_t>{128, 128},
+                      std::pair<std::size_t, std::size_t>{128, 896}),
+    [](const auto& pinfo) {
+      return "w" + std::to_string(pinfo.param.first) + "_t" +
+             std::to_string(pinfo.param.second);
+    });
+
+// Block decomposition (Fig. 3): layer counts and widths.
+TEST(Blocks, CensusMatchesStructuralInterpretation) {
+  for (const std::size_t w : {4u, 8u, 16u, 32u}) {
+    const std::size_t k = util::ilog2(w);
+    for (const std::size_t p : {1u, 2u, 4u}) {
+      const std::size_t t = p * w;
+      const auto net = make_counting(w, t);
+      const auto census = block_census(net, w);
+      EXPECT_EQ(census.layers_na, k - 1);
+      EXPECT_EQ(census.layers_nb, 1u);
+      EXPECT_EQ(census.layers_nc, (k * k + k) / 2 - k);
+      // N_a: (k-1) layers of w/2 balancers; N_b: w/2 irregular balancers.
+      EXPECT_EQ(census.balancers_na, (k - 1) * w / 2);
+      EXPECT_EQ(census.balancers_nb, w / 2);
+      // N_c: (k²-k)/2 layers of t/2 balancers each.
+      EXPECT_EQ(census.balancers_nc, ((k * k - k) / 2) * (t / 2));
+      EXPECT_EQ(census.balancers_na + census.balancers_nb +
+                    census.balancers_nc,
+                net.num_balancers());
+    }
+  }
+}
+
+TEST(Blocks, ClassifierSplitsByDepth) {
+  const std::size_t w = 8;
+  const auto net = make_counting(w, 16);
+  for (std::uint32_t b = 0; b < net.num_balancers(); ++b) {
+    const auto id = topo::BalancerId{b};
+    const auto block = classify_block(net, id, w);
+    const std::size_t d = net.balancer_depth(id);
+    if (d < 3) {
+      EXPECT_EQ(block, Block::kNa);
+    } else if (d == 3) {
+      EXPECT_EQ(block, Block::kNb);
+    } else {
+      EXPECT_EQ(block, Block::kNc);
+    }
+    // N_b balancers are exactly the irregular ones here.
+    const auto& bal = net.balancer(id);
+    if (block == Block::kNb) {
+      EXPECT_EQ(bal.fan_out(), 4u);  // (2, 2p) with p = 2
+    } else {
+      EXPECT_EQ(bal.fan_out(), 2u);
+    }
+  }
+}
+
+// The network counts regardless of which input wires carry the load
+// (paper §4.1 notes input permutations do not affect the output).
+TEST(Counting, InputPermutationInvariance) {
+  const auto net = make_counting(8, 16);
+  util::Xoshiro256 rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto x = test::random_input(8, 20, rng);
+    const auto y1 = topo::evaluate(net, x);
+    // Shuffle the input distribution; the output must stay identical
+    // because it depends only on the total number of tokens... per wire
+    // totals differ, but the *step* output of a counting network depends
+    // only on the total (Eq. (1)).
+    std::swap(x[0], x[7]);
+    std::swap(x[2], x[5]);
+    const auto y2 = topo::evaluate(net, x);
+    EXPECT_EQ(y1, y2);
+  }
+}
+
+}  // namespace
+}  // namespace cnet::core

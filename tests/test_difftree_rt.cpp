@@ -1,0 +1,87 @@
+#include "cnet/runtime/difftree_rt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "test_util.hpp"
+
+namespace cnet::rt {
+namespace {
+
+std::vector<seq::Value> hammer(Counter& counter, std::size_t threads,
+                               std::size_t per_thread) {
+  std::vector<std::vector<seq::Value>> got(threads);
+  {
+    std::vector<std::jthread> workers;
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        for (std::size_t i = 0; i < per_thread; ++i) {
+          got[t].push_back(counter.fetch_increment(t));
+        }
+      });
+    }
+  }
+  std::vector<seq::Value> all;
+  for (auto& v : got) all.insert(all.end(), v.begin(), v.end());
+  return all;
+}
+
+TEST(DiffTreeRt, RejectsBadConfig) {
+  DiffractingTreeCounter::Config bad;
+  bad.leaves = 3;
+  EXPECT_THROW(DiffractingTreeCounter{bad}, std::invalid_argument);
+  bad.leaves = 8;
+  bad.prism_slots = 0;
+  EXPECT_THROW(DiffractingTreeCounter{bad}, std::invalid_argument);
+}
+
+TEST(DiffTreeRt, SequentialValuesAreSequential) {
+  DiffractingTreeCounter::Config cfg;
+  cfg.leaves = 8;
+  cfg.partner_spins = 2;  // no partners exist; keep the miss cheap
+  DiffractingTreeCounter c(cfg);
+  for (std::int64_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(c.fetch_increment(0), i);
+  }
+  EXPECT_EQ(c.diffractions(), 0u);
+  EXPECT_GT(c.toggle_passes(), 0u);
+}
+
+class DiffTreeRtThreads : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DiffTreeRtThreads, ConcurrentExactRange) {
+  DiffractingTreeCounter::Config cfg;
+  cfg.leaves = GetParam();
+  cfg.partner_spins = 32;
+  DiffractingTreeCounter c(cfg);
+  const auto values = hammer(c, 8, 2000);
+  EXPECT_TRUE(test::is_exact_range(values));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DiffTreeRtThreads,
+                         ::testing::Values(2, 4, 8, 16),
+                         ::testing::PrintToStringParamName());
+
+TEST(DiffTreeRt, TelemetryAccountsEveryNodeVisit) {
+  DiffractingTreeCounter::Config cfg;
+  cfg.leaves = 8;  // 3 levels
+  DiffractingTreeCounter c(cfg);
+  constexpr std::size_t kThreads = 4, kPer = 1000;
+  (void)hammer(c, kThreads, kPer);
+  // Every fetch_increment visits exactly lg(leaves) nodes, resolved either
+  // by diffraction or by toggle.
+  EXPECT_EQ(c.diffractions() + c.toggle_passes(), kThreads * kPer * 3);
+}
+
+TEST(DiffTreeRt, NameIncludesWidth) {
+  DiffractingTreeCounter::Config cfg;
+  cfg.leaves = 16;
+  DiffractingTreeCounter c(cfg);
+  EXPECT_EQ(c.name(), "difftree(16)");
+}
+
+}  // namespace
+}  // namespace cnet::rt

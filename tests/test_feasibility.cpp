@@ -1,0 +1,81 @@
+// Aharonson–Attiya constructibility condition (paper §1.4.2).
+#include "cnet/topology/feasibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cnet::topo {
+namespace {
+
+using V = std::vector<std::uint64_t>;
+
+TEST(PrimeFactors, SmallCases) {
+  EXPECT_EQ(prime_factors(1), V{});
+  EXPECT_EQ(prime_factors(2), V{2});
+  EXPECT_EQ(prime_factors(12), (V{2, 2, 3}));
+  EXPECT_EQ(prime_factors(97), V{97});
+  EXPECT_EQ(prime_factors(360), (V{2, 2, 2, 3, 3, 5}));
+}
+
+TEST(PrimeFactors, LargePrime) {
+  EXPECT_EQ(prime_factors(1'000'003), V{1'000'003});
+}
+
+TEST(PrimeFactors, RejectsZero) {
+  EXPECT_THROW((void)prime_factors(0), std::invalid_argument);
+}
+
+TEST(Feasibility, PowerOfTwoWidthsFromTwoTwoBalancers) {
+  const V b22 = {2};
+  for (const std::uint64_t w : {2u, 4u, 8u, 64u, 1024u}) {
+    EXPECT_TRUE(counting_width_feasible(w, b22)) << w;
+  }
+}
+
+TEST(Feasibility, WidthSixImpossibleFromTwoTwoBalancers) {
+  // The classic instance: prime 3 divides 6 but no (·,2)-balancer width.
+  const V b22 = {2};
+  EXPECT_FALSE(counting_width_feasible(6, b22));
+  EXPECT_EQ(infeasibility_witnesses(6, b22), V{3});
+}
+
+TEST(Feasibility, AddingATripleBalancerFixesIt) {
+  const V widths = {2, 3};
+  EXPECT_TRUE(counting_width_feasible(6, widths));
+  EXPECT_TRUE(counting_width_feasible(12, widths));
+  EXPECT_FALSE(counting_width_feasible(10, widths));  // 5 uncovered
+}
+
+TEST(Feasibility, PapersFamilyIsFeasible) {
+  // C(w, t): (2,2)- and (2,2p)-balancers; output width t = p·2^k. Every
+  // prime factor of t divides 2 or 2p.
+  for (const std::uint64_t p : {1u, 2u, 3u, 5u, 6u}) {
+    for (const std::uint64_t w : {2u, 8u, 32u}) {
+      const V widths = {2, 2 * p};
+      EXPECT_TRUE(counting_width_feasible(p * w, widths))
+          << "p=" << p << " w=" << w;
+    }
+  }
+}
+
+TEST(Feasibility, FigureOneBalancer) {
+  // A (4,6)-balancer alone supports width-6 counting (6 | 6) but not
+  // width 25.
+  const V widths = {6};
+  EXPECT_TRUE(counting_width_feasible(6, widths));
+  EXPECT_TRUE(counting_width_feasible(12, widths));
+  EXPECT_FALSE(counting_width_feasible(25, widths));
+  EXPECT_EQ(infeasibility_witnesses(25, widths), V{5});
+}
+
+TEST(Feasibility, WidthOneIsAlwaysFeasible) {
+  EXPECT_TRUE(counting_width_feasible(1, V{}));
+}
+
+TEST(Feasibility, MultipleWitnessesReported) {
+  EXPECT_EQ(infeasibility_witnesses(15, V{2}), (V{3, 5}));
+}
+
+}  // namespace
+}  // namespace cnet::topo

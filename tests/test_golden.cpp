@@ -1,0 +1,86 @@
+// Golden-structure regression tests: the exact wiring of the paper's
+// figure networks, pinned as serialized text. Any change to the recursive
+// constructions that alters wiring (even to an isomorphic network) fails
+// here, so refactors cannot silently drift from the published figures.
+#include <gtest/gtest.h>
+
+#include "cnet/core/counting.hpp"
+#include "cnet/core/ladder.hpp"
+#include "cnet/core/merging.hpp"
+#include "cnet/topology/serialize.hpp"
+
+namespace cnet::topo {
+namespace {
+
+TEST(Golden, LadderL4) {
+  // L(4): b0 on wires (0,2), b1 on (1,3); outputs in ladder order.
+  EXPECT_EQ(to_text(core::make_ladder(4)),
+            "cnet-topology v1\n"
+            "inputs 4\n"
+            "balancer 2 0 2\n"
+            "balancer 2 1 3\n"
+            "outputs 4 6 5 7\n");
+}
+
+TEST(Golden, MergingM42) {
+  // M(4,2) (Fig. 5 top, t=4): b0 = (x0, y1) -> (z0, z3);
+  // b1 = (y0, x1) -> (z1, z2). x = wires 0,1; y = wires 2,3.
+  EXPECT_EQ(to_text(core::make_merging(4, 2)),
+            "cnet-topology v1\n"
+            "inputs 4\n"
+            "balancer 2 0 3\n"
+            "balancer 2 2 1\n"
+            "outputs 4 6 7 5\n");
+}
+
+TEST(Golden, CountingC24) {
+  // C(2,4): a single (2,4)-balancer.
+  EXPECT_EQ(to_text(core::make_counting(2, 4)),
+            "cnet-topology v1\n"
+            "inputs 2\n"
+            "balancer 4 0 1\n"
+            "outputs 2 3 4 5\n");
+}
+
+TEST(Golden, CountingC44) {
+  // Fig. 11 top-left: ladder L(4) (balancers 0,1), two C(2,2) (balancers
+  // 2,3), merging M(4,2) (balancers 4,5).
+  EXPECT_EQ(to_text(core::make_counting(4, 4)),
+            "cnet-topology v1\n"
+            "inputs 4\n"
+            "balancer 2 0 2\n"   // ladder b0: wires 0,2 -> 4,5
+            "balancer 2 1 3\n"   // ladder b1: wires 1,3 -> 6,7
+            "balancer 2 4 6\n"   // C0(2,2) on ladder tops -> 8,9
+            "balancer 2 5 7\n"   // C1(2,2) on ladder bottoms -> 10,11
+            "balancer 2 8 11\n"  // M(4,2) b0: (g0, h1) -> z0, z3
+            "balancer 2 10 9\n"  // M(4,2) b1: (h0, g1) -> z1, z2
+            "outputs 12 14 15 13\n");
+}
+
+TEST(Golden, CountingC48) {
+  // Fig. 1 right / Fig. 11 bottom: like C(4,4) but the recursion bottoms
+  // out in (2,4)-balancers and merges with M(8,2).
+  EXPECT_EQ(to_text(core::make_counting(4, 8)),
+            "cnet-topology v1\n"
+            "inputs 4\n"
+            "balancer 2 0 2\n"
+            "balancer 2 1 3\n"
+            "balancer 4 4 6\n"     // C0(2,4) -> wires 8..11
+            "balancer 4 5 7\n"     // C1(2,4) -> wires 12..15
+            "balancer 2 8 15\n"    // M(8,2) b0: (x0, y3)
+            "balancer 2 12 9\n"    // M(8,2) b1: (y0, x1)
+            "balancer 2 13 10\n"   // M(8,2) b2: (y1, x2)
+            "balancer 2 14 11\n"   // M(8,2) b3: (y2, x3)
+            "outputs 16 18 19 20 21 22 23 17\n");
+}
+
+TEST(Golden, RoundTripOfGoldenNetworks) {
+  for (const auto& net :
+       {core::make_ladder(4), core::make_merging(4, 2),
+        core::make_counting(4, 4), core::make_counting(4, 8)}) {
+    EXPECT_TRUE(structurally_equal(net, from_text(to_text(net))));
+  }
+}
+
+}  // namespace
+}  // namespace cnet::topo

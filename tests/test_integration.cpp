@@ -1,0 +1,124 @@
+// End-to-end integration: every counter implementation in the library is
+// exercised as a shared Fetch&Increment service under real threads, and the
+// simulator, quiescent evaluator and runtime are cross-validated on the
+// same topologies.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cnet/baselines/bitonic.hpp"
+#include "cnet/baselines/difftree.hpp"
+#include "cnet/baselines/periodic.hpp"
+#include "cnet/core/counting.hpp"
+#include "cnet/runtime/central.hpp"
+#include "cnet/runtime/difftree_rt.hpp"
+#include "cnet/runtime/network_counter.hpp"
+#include "cnet/sim/schedulers.hpp"
+#include "cnet/sim/token_sim.hpp"
+#include "cnet/topology/quiescent.hpp"
+#include "test_util.hpp"
+
+namespace cnet {
+namespace {
+
+std::vector<seq::Value> hammer(rt::Counter& counter, std::size_t threads,
+                               std::size_t per_thread) {
+  std::vector<std::vector<seq::Value>> got(threads);
+  {
+    std::vector<std::jthread> workers;
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        for (std::size_t i = 0; i < per_thread; ++i) {
+          got[t].push_back(counter.fetch_increment(t));
+        }
+      });
+    }
+  }
+  std::vector<seq::Value> all;
+  for (auto& v : got) all.insert(all.end(), v.begin(), v.end());
+  return all;
+}
+
+// Every counter the library offers, hammered by 8 threads: the returned
+// values must be exactly 0..m-1.
+TEST(Integration, EveryCounterImplementationIsCorrect) {
+  std::vector<std::unique_ptr<rt::Counter>> counters;
+  counters.push_back(std::make_unique<rt::AtomicCounter>());
+  counters.push_back(std::make_unique<rt::CasCounter>());
+  counters.push_back(std::make_unique<rt::MutexCounter>());
+  counters.push_back(std::make_unique<rt::NetworkCounter>(
+      core::make_counting(8, 8), "C(8,8)"));
+  counters.push_back(std::make_unique<rt::NetworkCounter>(
+      core::make_counting(8, 24), "C(8,24)"));
+  counters.push_back(std::make_unique<rt::NetworkCounter>(
+      core::make_counting(8, 24), "C(8,24)-cas", rt::BalancerMode::kCasRetry));
+  counters.push_back(std::make_unique<rt::NetworkCounter>(
+      baselines::make_bitonic(8), "bitonic(8)"));
+  counters.push_back(std::make_unique<rt::NetworkCounter>(
+      baselines::make_periodic(8), "periodic(8)"));
+  rt::DiffractingTreeCounter::Config dt;
+  dt.leaves = 8;
+  counters.push_back(std::make_unique<rt::DiffractingTreeCounter>(dt));
+
+  for (auto& counter : counters) {
+    const auto values = hammer(*counter, 8, 1000);
+    EXPECT_TRUE(test::is_exact_range(values)) << counter->name();
+  }
+}
+
+// The simulator and the quiescent evaluator agree for every network family
+// and every scheduler.
+TEST(Integration, SimulatorAgreesWithQuiescentEvaluator) {
+  const std::vector<std::pair<std::string, topo::Topology>> nets = [] {
+    std::vector<std::pair<std::string, topo::Topology>> v;
+    v.emplace_back("C(8,8)", core::make_counting(8, 8));
+    v.emplace_back("C(8,16)", core::make_counting(8, 16));
+    v.emplace_back("bitonic(8)", baselines::make_bitonic(8));
+    v.emplace_back("periodic(8)", baselines::make_periodic(8));
+    v.emplace_back("difftree(8)", baselines::make_diffracting_tree(8));
+    return v;
+  }();
+  for (const auto& [label, net] : nets) {
+    for (const auto kind :
+         {sim::SchedulerKind::kRandom, sim::SchedulerKind::kRoundRobin,
+          sim::SchedulerKind::kWavefrontConvoy}) {
+      sim::SimConfig cfg{.concurrency = 7, .total_tokens = 311};
+      auto sched = sim::make_scheduler(kind, 5);
+      const auto res = sim::simulate(net, cfg, *sched);
+      EXPECT_EQ(res.output_counts, topo::evaluate(net, res.input_counts))
+          << label << " / " << sim::scheduler_name(kind);
+      EXPECT_TRUE(test::is_exact_range(res.counter_values))
+          << label << " / " << sim::scheduler_name(kind);
+    }
+  }
+}
+
+// Interleaved bursts: threads join and leave; totals must stay exact.
+TEST(Integration, BurstyTrafficKeepsExactness) {
+  rt::NetworkCounter counter(core::make_counting(4, 8), "C(4,8)");
+  std::vector<seq::Value> all;
+  for (int burst = 0; burst < 5; ++burst) {
+    const auto values = hammer(counter, static_cast<std::size_t>(3 + burst % 3), 500);
+    all.insert(all.end(), values.begin(), values.end());
+  }
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    ASSERT_EQ(all[i], static_cast<seq::Value>(i));
+  }
+}
+
+// The irregular network family keeps counting when p is not a power of two
+// (t = 3w), end to end.
+TEST(Integration, NonPowerOfTwoExpansionFactor) {
+  const auto net = core::make_counting(16, 48);
+  util::Xoshiro256 rng(123);
+  EXPECT_FALSE(topo::check_counting_random(net, 200, 40, rng).has_value());
+
+  rt::NetworkCounter counter(net, "C(16,48)");
+  EXPECT_TRUE(test::is_exact_range(hammer(counter, 8, 1000)));
+}
+
+}  // namespace
+}  // namespace cnet

@@ -1,0 +1,70 @@
+#include "cnet/core/ladder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cnet/seq/sequence.hpp"
+#include "cnet/topology/quiescent.hpp"
+#include "test_util.hpp"
+
+namespace cnet::core {
+namespace {
+
+TEST(Ladder, Shape) {
+  for (std::size_t w = 2; w <= 32; w += 2) {
+    const auto t = make_ladder(w);
+    EXPECT_EQ(t.width_in(), w);
+    EXPECT_EQ(t.width_out(), w);
+    EXPECT_EQ(t.depth(), 1u);
+    EXPECT_EQ(t.num_balancers(), w / 2);
+    EXPECT_TRUE(t.is_regular());
+  }
+}
+
+TEST(Ladder, RejectsOddWidth) {
+  EXPECT_THROW((void)make_ladder(3), std::invalid_argument);
+  EXPECT_THROW((void)make_ladder(0), std::invalid_argument);
+}
+
+TEST(Ladder, PairsWireIWithIPlusHalf) {
+  // Put tokens only on wire 1 of an 8-ladder: balancer b1 splits them over
+  // output wires 1 and 5.
+  const auto t = make_ladder(8);
+  seq::Sequence x(8, 0);
+  x[1] = 5;
+  const auto y = topo::evaluate(t, x);
+  EXPECT_EQ(y[1], 3);
+  EXPECT_EQ(y[5], 2);
+  for (const std::size_t i : {0u, 2u, 3u, 4u, 6u, 7u}) {
+    EXPECT_EQ(y[i], 0) << i;
+  }
+}
+
+// The property Theorem 4.2 needs: for every input, the per-pair difference
+// between top and bottom ladder outputs is in [0,1], so the two recursive
+// halves of C(w,t) receive sums differing by at most w/2.
+TEST(Ladder, HalfSumGapBoundedByHalfWidth) {
+  util::Xoshiro256 rng(31);
+  for (const std::size_t w : {2u, 4u, 8u, 16u}) {
+    const auto t = make_ladder(w);
+    for (int trial = 0; trial < 200; ++trial) {
+      const auto x = test::random_input(w, 25, rng);
+      const auto y = topo::evaluate(t, x);
+      const auto top = seq::first_half(y);
+      const auto bottom = seq::second_half(y);
+      const seq::Value gap = seq::sum(top) - seq::sum(bottom);
+      EXPECT_GE(gap, 0);
+      EXPECT_LE(gap, static_cast<seq::Value>(w / 2));
+      // Per-balancer: top output minus bottom output is 0 or 1.
+      for (std::size_t i = 0; i < w / 2; ++i) {
+        const seq::Value d = y[i] - y[i + w / 2];
+        EXPECT_GE(d, 0);
+        EXPECT_LE(d, 1);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cnet::core

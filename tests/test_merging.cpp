@@ -1,0 +1,130 @@
+// Difference merging network M(t, δ): Lemma 3.1 (depth), Lemma 3.2/3.3
+// (difference-merging property), §3.3 (comparison with the bitonic merger).
+#include "cnet/core/merging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cnet/seq/sequence.hpp"
+#include "cnet/topology/quiescent.hpp"
+#include "cnet/util/bitops.hpp"
+
+namespace cnet::core {
+namespace {
+
+TEST(MergingParams, ValidityRule) {
+  // t = p·2^i, δ = 2^j, 1 <= j < i  <=>  δ power of two >= 2 and 2δ | t.
+  EXPECT_TRUE(is_valid_merging_params(4, 2));
+  EXPECT_TRUE(is_valid_merging_params(8, 2));
+  EXPECT_TRUE(is_valid_merging_params(8, 4));
+  EXPECT_TRUE(is_valid_merging_params(16, 4));
+  EXPECT_TRUE(is_valid_merging_params(24, 4));   // p=3, i=3, j=2
+  EXPECT_FALSE(is_valid_merging_params(8, 8));   // needs j < i
+  EXPECT_FALSE(is_valid_merging_params(8, 3));   // δ not a power of two
+  EXPECT_FALSE(is_valid_merging_params(8, 1));   // δ < 2
+  EXPECT_FALSE(is_valid_merging_params(6, 2));   // 4 does not divide 6
+  EXPECT_FALSE(is_valid_merging_params(0, 2));
+}
+
+TEST(MergingParams, ConstructorRejectsInvalid) {
+  EXPECT_THROW((void)make_merging(8, 8), std::invalid_argument);
+  EXPECT_THROW((void)make_merging(6, 2), std::invalid_argument);
+}
+
+// Lemma 3.1: depth(M(t, δ)) = lg δ.
+TEST(Merging, DepthIsLgDelta) {
+  for (const std::size_t t : {8u, 16u, 32u, 48u, 64u}) {
+    for (std::size_t delta = 2; 2 * delta <= t; delta *= 2) {
+      if (!is_valid_merging_params(t, delta)) continue;
+      const auto net = make_merging(t, delta);
+      EXPECT_EQ(net.depth(), util::ilog2(delta))
+          << "t=" << t << " delta=" << delta;
+      EXPECT_TRUE(net.is_regular());
+      EXPECT_EQ(net.width_in(), t);
+      EXPECT_EQ(net.width_out(), t);
+    }
+  }
+}
+
+// Balancer count: every layer has t/2 balancers, so lg δ · t/2 in total.
+TEST(Merging, BalancerCount) {
+  for (const std::size_t t : {8u, 16u, 32u}) {
+    for (std::size_t delta = 2; 2 * delta <= t; delta *= 2) {
+      const auto net = make_merging(t, delta);
+      EXPECT_EQ(net.num_balancers(), util::ilog2(delta) * t / 2);
+    }
+  }
+}
+
+// Lemmas 3.2/3.3, checked exhaustively: for every pair of step inputs whose
+// sums differ by gap in [0, δ], the output is step.
+class MergingProperty
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(MergingProperty, MergesAllStepPairsWithinDelta) {
+  const auto [t, delta] = GetParam();
+  const auto net = make_merging(t, delta);
+  const std::size_t half = t / 2;
+  const auto max_sum = static_cast<seq::Value>(3 * t);
+  for (seq::Value sum_y = 0; sum_y <= max_sum; ++sum_y) {
+    for (seq::Value gap = 0; gap <= static_cast<seq::Value>(delta); ++gap) {
+      const auto x = seq::make_step(half, sum_y + gap);
+      const auto y = seq::make_step(half, sum_y);
+      seq::Sequence input = x;
+      input.insert(input.end(), y.begin(), y.end());
+      const auto z = topo::evaluate(net, input);
+      ASSERT_TRUE(seq::is_step(z))
+          << "t=" << t << " delta=" << delta << " sum_y=" << sum_y
+          << " gap=" << gap;
+      ASSERT_EQ(seq::sum(z), sum_y + gap + sum_y);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MergingProperty,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{4, 2},
+                      std::pair<std::size_t, std::size_t>{8, 2},
+                      std::pair<std::size_t, std::size_t>{8, 4},
+                      std::pair<std::size_t, std::size_t>{16, 2},
+                      std::pair<std::size_t, std::size_t>{16, 4},
+                      std::pair<std::size_t, std::size_t>{16, 8},
+                      std::pair<std::size_t, std::size_t>{24, 4},
+                      std::pair<std::size_t, std::size_t>{32, 8},
+                      std::pair<std::size_t, std::size_t>{32, 16}),
+    [](const auto& pinfo) {
+      return "t" + std::to_string(pinfo.param.first) + "_d" +
+             std::to_string(pinfo.param.second);
+    });
+
+// Beyond δ the merge may (and for some inputs must) fail — the guarantee is
+// tight in the sense that some gap > δ breaks the step property.
+TEST(Merging, GapBeyondDeltaCanBreakStepProperty) {
+  const auto net = make_merging(16, 2);
+  bool found_violation = false;
+  for (seq::Value sum_y = 0; sum_y <= 48 && !found_violation; ++sum_y) {
+    for (seq::Value gap = 3; gap <= 8 && !found_violation; ++gap) {
+      const auto x = seq::make_step(8, sum_y + gap);
+      const auto y = seq::make_step(8, sum_y);
+      seq::Sequence input = x;
+      input.insert(input.end(), y.begin(), y.end());
+      found_violation = !seq::is_step(topo::evaluate(net, input));
+    }
+  }
+  EXPECT_TRUE(found_violation);
+}
+
+// §3.3: our merger is strictly shallower than a width-t bitonic merger
+// (depth lg t) whenever δ < t.
+TEST(Merging, ShallowerThanBitonicMergerDepth) {
+  for (const std::size_t t : {16u, 32u, 64u, 128u}) {
+    for (std::size_t delta = 2; 2 * delta <= t; delta *= 2) {
+      const auto net = make_merging(t, delta);
+      EXPECT_LT(net.depth(), util::ilog2(t));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cnet::core

@@ -1,0 +1,102 @@
+#include "cnet/util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace cnet::util {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Xoshiro, BelowStaysInRange) {
+  Xoshiro256 rng(3);
+  for (const std::uint64_t bound : {1ULL, 2ULL, 3ULL, 7ULL, 100ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro, BelowOneIsZero) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro, BelowCoversSmallRange) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro, BelowRoughlyUniform) {
+  Xoshiro256 rng(13);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> histogram(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++histogram[rng.below(kBuckets)];
+  }
+  for (const int count : histogram) {
+    EXPECT_NEAR(count, kDraws / kBuckets, kDraws / kBuckets / 5);
+  }
+}
+
+TEST(Xoshiro, RangeInclusiveBounds) {
+  Xoshiro256 rng(17);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro, Uniform01InUnitInterval) {
+  Xoshiro256 rng(19);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro, JumpProducesDisjointStream) {
+  Xoshiro256 a(23);
+  Xoshiro256 b(23);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+}  // namespace
+}  // namespace cnet::util

@@ -1,0 +1,150 @@
+#include "cnet/topology/quiescent.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cnet/seq/sequence.hpp"
+#include "test_util.hpp"
+
+namespace cnet::topo {
+namespace {
+
+Topology single22() {
+  Builder b;
+  const auto in = b.add_network_inputs(2);
+  const auto [top, bottom] = b.add_balancer2(in[0], in[1]);
+  const WireId outs[2] = {top, bottom};
+  b.set_outputs(outs);
+  return std::move(b).build();
+}
+
+Topology single2q(std::size_t q) {
+  Builder b;
+  const auto in = b.add_network_inputs(2);
+  b.set_outputs(b.add_balancer(in, q));
+  return std::move(b).build();
+}
+
+TEST(Quiescent, SingleBalancerMatchesFigureOne) {
+  // Fig. 1 left: a (4,6)-balancer with inputs 3,1,2,4 emits 2,2,2,2,1,1.
+  Builder b;
+  const auto in = b.add_network_inputs(4);
+  b.set_outputs(b.add_balancer(in, 6));
+  const Topology t = std::move(b).build();
+  const seq::Sequence x = {3, 1, 2, 4};
+  EXPECT_EQ(evaluate(t, x), (seq::Sequence{2, 2, 2, 2, 1, 1}));
+}
+
+TEST(Quiescent, BalancerAlternates) {
+  const Topology t = single22();
+  EXPECT_EQ(evaluate(t, seq::Sequence{5, 0}), (seq::Sequence{3, 2}));
+  EXPECT_EQ(evaluate(t, seq::Sequence{2, 3}), (seq::Sequence{3, 2}));
+  EXPECT_EQ(evaluate(t, seq::Sequence{0, 0}), (seq::Sequence{0, 0}));
+}
+
+TEST(Quiescent, OutputDependsOnlyOnTotalForOneBalancer) {
+  const Topology t = single2q(4);
+  const auto a = evaluate(t, seq::Sequence{7, 0});
+  const auto b = evaluate(t, seq::Sequence{3, 4});
+  const auto c = evaluate(t, seq::Sequence{0, 7});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+}
+
+TEST(Quiescent, InitialStateRotatesOutputs) {
+  const Topology t = single2q(4);
+  const std::uint32_t init[1] = {2};
+  const auto y = evaluate(t, seq::Sequence{3, 0}, init);
+  // Tokens exit on wires 2, 3, 0.
+  EXPECT_EQ(y, (seq::Sequence{1, 0, 1, 1}));
+}
+
+TEST(Quiescent, SumPreservationOnCascade) {
+  // Chain three balancers and check token conservation on random inputs.
+  Builder bld;
+  const auto in = bld.add_network_inputs(2);
+  auto [a0, a1] = bld.add_balancer2(in[0], in[1]);
+  auto [b0, b1] = bld.add_balancer2(a0, a1);
+  auto [c0, c1] = bld.add_balancer2(b0, b1);
+  const WireId outs[2] = {c0, c1};
+  bld.set_outputs(outs);
+  const Topology t = std::move(bld).build();
+
+  util::Xoshiro256 rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto x = test::random_input(2, 50, rng);
+    EXPECT_EQ(seq::sum(evaluate(t, x)), seq::sum(x));
+  }
+}
+
+TEST(Quiescent, PassThroughNetworkIsIdentity) {
+  Builder b;
+  const auto in = b.add_network_inputs(3);
+  b.set_outputs(in);
+  const Topology t = std::move(b).build();
+  const seq::Sequence x = {4, 0, 9};
+  EXPECT_EQ(evaluate(t, x), x);
+}
+
+TEST(Quiescent, TracedCountsTokensThroughBalancers) {
+  Builder bld;
+  const auto in = bld.add_network_inputs(2);
+  auto [a0, a1] = bld.add_balancer2(in[0], in[1]);
+  auto [b0, b1] = bld.add_balancer2(a0, a1);
+  const WireId outs[2] = {b0, b1};
+  bld.set_outputs(outs);
+  const Topology t = std::move(bld).build();
+  const auto trace = evaluate_traced(t, seq::Sequence{3, 2});
+  ASSERT_EQ(trace.tokens_through_balancer.size(), 2u);
+  EXPECT_EQ(trace.tokens_through_balancer[0], 5);
+  EXPECT_EQ(trace.tokens_through_balancer[1], 5);
+  EXPECT_EQ(seq::sum(trace.outputs), 5);
+}
+
+TEST(Quiescent, RejectsBadArguments) {
+  const Topology t = single22();
+  EXPECT_THROW((void)evaluate(t, seq::Sequence{1}), std::invalid_argument);
+  EXPECT_THROW((void)evaluate(t, seq::Sequence{-1, 0}),
+               std::invalid_argument);
+  const std::uint32_t bad_init[1] = {7};
+  EXPECT_THROW((void)evaluate(t, seq::Sequence{1, 1}, bad_init),
+               std::invalid_argument);
+}
+
+TEST(Quiescent, CheckCountingAcceptsSingleBalancer) {
+  const Topology t = single22();
+  util::Xoshiro256 rng(9);
+  EXPECT_FALSE(check_counting_random(t, 50, 20, rng).has_value());
+  EXPECT_FALSE(check_counting_exhaustive(t, 6).has_value());
+}
+
+TEST(Quiescent, CheckCountingCatchesNonCountingNetwork) {
+  // Two stacked independent balancers (width 4, no mixing) do not count.
+  Builder bld;
+  const auto in = bld.add_network_inputs(4);
+  const auto [a0, a1] = bld.add_balancer2(in[0], in[1]);
+  const auto [b0, b1] = bld.add_balancer2(in[2], in[3]);
+  const WireId outs[4] = {a0, a1, b0, b1};
+  bld.set_outputs(outs);
+  const Topology t = std::move(bld).build();
+  EXPECT_TRUE(check_counting_exhaustive(t, 2).has_value());
+  util::Xoshiro256 rng(10);
+  EXPECT_TRUE(check_counting_random(t, 50, 20, rng).has_value());
+}
+
+TEST(Quiescent, SmoothnessProbeFindsSkew) {
+  // The non-counting stacked network above can have smoothness >= 2.
+  Builder bld;
+  const auto in = bld.add_network_inputs(4);
+  const auto [a0, a1] = bld.add_balancer2(in[0], in[1]);
+  const auto [b0, b1] = bld.add_balancer2(in[2], in[3]);
+  const WireId outs[4] = {a0, a1, b0, b1};
+  bld.set_outputs(outs);
+  const Topology t = std::move(bld).build();
+  util::Xoshiro256 rng(11);
+  EXPECT_GE(max_output_smoothness_random(t, 100, 20, rng), 2);
+}
+
+}  // namespace
+}  // namespace cnet::topo

@@ -1,0 +1,110 @@
+// Randomized structural property tests: generate arbitrary valid balancing
+// networks and check the invariants every layer of the stack must satisfy
+// regardless of wiring — sum preservation, layer partitioning, simulator /
+// evaluator agreement, serialization round-trips, DOT well-formedness.
+#include <gtest/gtest.h>
+
+#include "cnet/sim/schedulers.hpp"
+#include "cnet/sim/token_sim.hpp"
+#include "cnet/topology/dot.hpp"
+#include "cnet/topology/quiescent.hpp"
+#include "cnet/topology/serialize.hpp"
+#include "cnet/topology/topology.hpp"
+#include "cnet/util/prng.hpp"
+#include "test_util.hpp"
+
+namespace cnet::topo {
+namespace {
+
+// Builds a random balancing network: starts from `width` input wires and
+// repeatedly gathers 1-3 unconsumed wires into a balancer with fanout 1-4;
+// whatever remains unconsumed becomes the outputs (shuffled).
+Topology random_network(std::size_t width, std::size_t num_balancers,
+                        util::Xoshiro256& rng) {
+  Builder b;
+  std::vector<WireId> pool = b.add_network_inputs(width);
+  for (std::size_t i = 0; i < num_balancers; ++i) {
+    const std::size_t fan_in =
+        1 + rng.below(std::min<std::size_t>(3, pool.size()));
+    std::vector<WireId> ins;
+    for (std::size_t j = 0; j < fan_in; ++j) {
+      const std::size_t pick = rng.below(pool.size());
+      ins.push_back(pool[pick]);
+      pool[pick] = pool.back();
+      pool.pop_back();
+    }
+    const std::size_t fan_out = 1 + rng.below(4);
+    const auto outs = b.add_balancer(ins, fan_out);
+    pool.insert(pool.end(), outs.begin(), outs.end());
+  }
+  // Shuffle the surviving wires into an arbitrary output order.
+  for (std::size_t i = pool.size(); i > 1; --i) {
+    std::swap(pool[i - 1], pool[rng.below(i)]);
+  }
+  b.set_outputs(pool);
+  return std::move(b).build();
+}
+
+class RandomNetworks : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomNetworks, StructuralInvariants) {
+  util::Xoshiro256 rng(GetParam());
+  const auto net = random_network(2 + rng.below(7), 1 + rng.below(20), rng);
+  // Layers partition the balancers.
+  std::size_t layered = 0;
+  for (std::size_t d = 0; d < net.layers().size(); ++d) {
+    for (const BalancerId b : net.layers()[d]) {
+      EXPECT_EQ(net.balancer_depth(b), d + 1);
+      ++layered;
+    }
+  }
+  EXPECT_EQ(layered, net.num_balancers());
+  // Census covers every balancer.
+  std::size_t counted = 0;
+  for (const auto& row : net.census()) counted += row.count;
+  EXPECT_EQ(counted, net.num_balancers());
+}
+
+TEST_P(RandomNetworks, SumPreservationAndDeterminism) {
+  util::Xoshiro256 rng(GetParam() + 1000);
+  const auto net = random_network(2 + rng.below(7), 1 + rng.below(20), rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto x = cnet::test::random_input(net.width_in(), 15, rng);
+    const auto y1 = evaluate(net, x);
+    const auto y2 = evaluate(net, x);
+    EXPECT_EQ(seq::sum(y1), seq::sum(x));
+    EXPECT_EQ(y1, y2);
+  }
+}
+
+TEST_P(RandomNetworks, SimulatorAgreesWithEvaluator) {
+  util::Xoshiro256 rng(GetParam() + 2000);
+  const auto net = random_network(2 + rng.below(7), 1 + rng.below(15), rng);
+  sim::SimConfig cfg{.concurrency = 1 + rng.below(9),
+                     .total_tokens = 50 + rng.below(200)};
+  sim::RandomScheduler sched(GetParam());
+  const auto res = sim::simulate(net, cfg, sched);
+  EXPECT_EQ(res.output_counts, evaluate(net, res.input_counts));
+}
+
+TEST_P(RandomNetworks, SerializationRoundTrips) {
+  util::Xoshiro256 rng(GetParam() + 3000);
+  const auto net = random_network(2 + rng.below(7), 1 + rng.below(20), rng);
+  EXPECT_TRUE(structurally_equal(net, from_text(to_text(net))));
+}
+
+TEST_P(RandomNetworks, DotMentionsEveryBalancer) {
+  util::Xoshiro256 rng(GetParam() + 4000);
+  const auto net = random_network(2 + rng.below(5), 1 + rng.below(10), rng);
+  const auto dot = to_dot(net, "random");
+  for (std::size_t b = 0; b < net.num_balancers(); ++b) {
+    EXPECT_NE(dot.find("b" + std::to_string(b)), std::string::npos);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetworks,
+                         ::testing::Range<std::uint64_t>(0, 12),
+                         ::testing::PrintToStringParamName());
+
+}  // namespace
+}  // namespace cnet::topo

@@ -1,0 +1,209 @@
+// Sequence toolkit tests, including property checks of the paper's
+// Lemmas 2.1–2.4 (which underpin the merging-network correctness proof).
+#include "cnet/seq/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cnet/util/prng.hpp"
+
+namespace cnet::seq {
+namespace {
+
+TEST(Sequence, SumOfEmptyIsZero) { EXPECT_EQ(sum({}), 0); }
+
+TEST(Sequence, SumAddsUp) {
+  const Sequence x = {1, 2, 3, 4};
+  EXPECT_EQ(sum(x), 10);
+}
+
+TEST(Sequence, SmoothnessOfConstantIsZero) {
+  const Sequence x = {5, 5, 5};
+  EXPECT_EQ(smoothness(x), 0);
+}
+
+TEST(Sequence, SmoothnessIsMaxMinusMin) {
+  const Sequence x = {3, 7, 5, 2};
+  EXPECT_EQ(smoothness(x), 5);
+}
+
+TEST(Sequence, StepAcceptsFlatAndSingleDrop) {
+  EXPECT_TRUE(is_step(Sequence{2, 2, 2}));
+  EXPECT_TRUE(is_step(Sequence{3, 3, 2, 2}));
+  EXPECT_TRUE(is_step(Sequence{1}));
+  EXPECT_TRUE(is_step(Sequence{}));
+}
+
+TEST(Sequence, StepRejectsIncreaseAndBigDrop) {
+  EXPECT_FALSE(is_step(Sequence{2, 3}));        // increases
+  EXPECT_FALSE(is_step(Sequence{4, 2}));        // drops by 2
+  EXPECT_FALSE(is_step(Sequence{3, 2, 3}));     // goes back up
+  EXPECT_FALSE(is_step(Sequence{3, 3, 2, 3}));  // non-monotone
+}
+
+TEST(Sequence, StepRejectsTwoSeparateDrops) {
+  // Non-increasing, adjacent drops of 1, but max-min == 2.
+  EXPECT_FALSE(is_step(Sequence{3, 2, 1}));
+}
+
+TEST(Sequence, KSmooth) {
+  EXPECT_TRUE(is_k_smooth(Sequence{3, 1, 2}, 2));
+  EXPECT_FALSE(is_k_smooth(Sequence{3, 0, 2}, 2));
+  EXPECT_TRUE(is_k_smooth(Sequence{}, 0));
+}
+
+TEST(Sequence, StepPointAllEqualIsWidth) {
+  EXPECT_EQ(step_point(Sequence{4, 4, 4}), 3u);
+}
+
+TEST(Sequence, StepPointAtDrop) {
+  EXPECT_EQ(step_point(Sequence{4, 4, 3}), 2u);
+  EXPECT_EQ(step_point(Sequence{4, 3, 3}), 1u);
+}
+
+TEST(Sequence, StepPointRequiresStep) {
+  EXPECT_THROW(step_point(Sequence{1, 2}), std::invalid_argument);
+  EXPECT_THROW(step_point(Sequence{}), std::invalid_argument);
+}
+
+TEST(Sequence, MakeStepMatchesEquationOne) {
+  // Eq. (1): x_i = ceil((sum - i)/w).
+  for (std::size_t w = 1; w <= 8; ++w) {
+    for (Value total = 0; total <= 40; ++total) {
+      const Sequence x = make_step(w, total);
+      ASSERT_TRUE(is_step(x)) << "w=" << w << " total=" << total;
+      ASSERT_EQ(sum(x), total);
+      for (std::size_t i = 0; i < w; ++i) {
+        const Value expected =
+            (total - static_cast<Value>(i) + static_cast<Value>(w) - 1) >=
+                    static_cast<Value>(w)
+                ? (total - static_cast<Value>(i) + static_cast<Value>(w) - 1) /
+                      static_cast<Value>(w)
+                : (total > static_cast<Value>(i) ? 1 : 0);
+        EXPECT_EQ(x[i], expected) << "w=" << w << " total=" << total
+                                  << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Sequence, EvenOddSubsequences) {
+  const Sequence x = {0, 1, 2, 3, 4};
+  EXPECT_EQ(even_subseq(x), (Sequence{0, 2, 4}));
+  EXPECT_EQ(odd_subseq(x), (Sequence{1, 3}));
+}
+
+TEST(Sequence, Halves) {
+  const Sequence x = {9, 8, 7, 6};
+  EXPECT_EQ(first_half(x), (Sequence{9, 8}));
+  EXPECT_EQ(second_half(x), (Sequence{7, 6}));
+  EXPECT_THROW(first_half(Sequence{1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Sequence, BalancerOutputIsStepFromZeroState) {
+  for (std::size_t q = 1; q <= 7; ++q) {
+    for (Value total = 0; total <= 30; ++total) {
+      const Sequence y = balancer_output(total, q);
+      EXPECT_TRUE(is_step(y)) << "q=" << q << " total=" << total;
+      EXPECT_EQ(sum(y), total);
+    }
+  }
+}
+
+TEST(Sequence, BalancerOutputRespectsInitialState) {
+  // 3 tokens through a (·,4)-balancer starting at state 2 exit on wires
+  // 2, 3, 0.
+  const Sequence y = balancer_output(3, 4, 2);
+  EXPECT_EQ(y, (Sequence{1, 0, 1, 1}));
+}
+
+TEST(Sequence, BalancerOutputInitialStatePreservesSum) {
+  for (std::size_t q = 2; q <= 5; ++q) {
+    for (std::size_t s = 0; s < q; ++s) {
+      for (Value total = 0; total <= 20; ++total) {
+        EXPECT_EQ(sum(balancer_output(total, q, s)), total);
+      }
+    }
+  }
+}
+
+TEST(Sequence, BalancerOutputRejectsBadArgs) {
+  EXPECT_THROW(balancer_output(-1, 2), std::invalid_argument);
+  EXPECT_THROW(balancer_output(1, 0), std::invalid_argument);
+  EXPECT_THROW(balancer_output(1, 2, 2), std::invalid_argument);
+}
+
+// --- Lemma property tests ------------------------------------------------
+
+// Lemma 2.1: any subsequence of a step sequence is step.
+TEST(Lemmas, SubsequencesOfStepAreStep) {
+  util::Xoshiro256 rng(21);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t w = 2 + rng.below(16);
+    const auto x = make_step(w, static_cast<Value>(rng.below(200)));
+    // Random subsequence via a random keep-mask.
+    Sequence sub;
+    for (std::size_t i = 0; i < w; ++i) {
+      if (rng.below(2)) sub.push_back(x[i]);
+    }
+    EXPECT_TRUE(is_step(sub));
+    EXPECT_TRUE(is_step(even_subseq(x)));
+    EXPECT_TRUE(is_step(odd_subseq(x)));
+  }
+}
+
+// Lemma 2.2: step sequences with sums differing by [0, delta] have maxima
+// differing by [0, floor(delta/w) + 1].
+TEST(Lemmas, MaximaBoundFromSumGap) {
+  util::Xoshiro256 rng(22);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::size_t w = 2 + rng.below(16);
+    const Value delta = static_cast<Value>(rng.below(40));
+    const Value sum_y = static_cast<Value>(rng.below(300));
+    const Value sum_x = sum_y + static_cast<Value>(
+        rng.below(static_cast<std::uint64_t>(delta) + 1));
+    const auto x = make_step(w, sum_x);
+    const auto y = make_step(w, sum_y);
+    const Value a = *std::max_element(x.begin(), x.end());
+    const Value b = *std::max_element(y.begin(), y.end());
+    EXPECT_GE(a - b, 0);
+    EXPECT_LE(a - b, delta / static_cast<Value>(w) + 1);
+  }
+}
+
+// Lemma 2.3: even/odd subsequence sums of a step sequence differ by 0 or 1.
+TEST(Lemmas, EvenOddSumGapAtMostOne) {
+  for (std::size_t w = 2; w <= 16; w += 2) {
+    for (Value total = 0; total <= 5 * static_cast<Value>(w); ++total) {
+      const auto x = make_step(w, total);
+      const Value gap = sum(even_subseq(x)) - sum(odd_subseq(x));
+      EXPECT_GE(gap, 0);
+      EXPECT_LE(gap, 1);
+    }
+  }
+}
+
+// Lemma 2.4: if step sums differ by an even delta, the even (and odd)
+// subsequence sums differ by at most delta/2 (and at least 0).
+TEST(Lemmas, EvenOddSubsequenceSumHalving) {
+  for (std::size_t w = 2; w <= 12; w += 2) {
+    for (Value delta = 0; delta <= 8; delta += 2) {
+      for (Value sum_y = 0; sum_y <= 30; ++sum_y) {
+        for (Value gap = 0; gap <= delta; ++gap) {
+          const auto x = make_step(w, sum_y + gap);
+          const auto y = make_step(w, sum_y);
+          const Value even_gap = sum(even_subseq(x)) - sum(even_subseq(y));
+          const Value odd_gap = sum(odd_subseq(x)) - sum(odd_subseq(y));
+          EXPECT_GE(even_gap, 0);
+          EXPECT_LE(even_gap, delta / 2);
+          EXPECT_GE(odd_gap, 0);
+          EXPECT_LE(odd_gap, delta / 2);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cnet::seq

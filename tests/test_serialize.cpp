@@ -1,0 +1,99 @@
+#include "cnet/topology/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cnet/baselines/bitonic.hpp"
+#include "cnet/core/counting.hpp"
+#include "cnet/core/merging.hpp"
+#include "cnet/topology/quiescent.hpp"
+#include "cnet/util/prng.hpp"
+#include "test_util.hpp"
+
+namespace cnet::topo {
+namespace {
+
+TEST(Serialize, RoundTripPreservesStructure) {
+  for (const auto& net :
+       {core::make_counting(4, 8), core::make_counting(8, 8),
+        core::make_merging(16, 4), baselines::make_bitonic(8)}) {
+    const auto restored = from_text(to_text(net));
+    EXPECT_TRUE(structurally_equal(net, restored));
+    // And the same text again (canonical form).
+    EXPECT_EQ(to_text(net), to_text(restored));
+  }
+}
+
+TEST(Serialize, RoundTripPreservesBehaviour) {
+  const auto net = core::make_counting(8, 16);
+  const auto restored = from_text(to_text(net));
+  util::Xoshiro256 rng(0x5E1A);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto x = test::random_input(8, 25, rng);
+    EXPECT_EQ(evaluate(net, x), evaluate(restored, x));
+  }
+}
+
+TEST(Serialize, HandlesCommentsAndBlankLines) {
+  const std::string text =
+      "cnet-topology v1\n"
+      "# a (2,2)-balancer\n"
+      "\n"
+      "inputs 2\n"
+      "balancer 2 0 1   # consumes both inputs\n"
+      "outputs 2 3\n";
+  const auto net = from_text(text);
+  EXPECT_EQ(net.width_in(), 2u);
+  EXPECT_EQ(net.num_balancers(), 1u);
+}
+
+TEST(Serialize, RejectsMissingHeader) {
+  EXPECT_THROW((void)from_text("inputs 2\noutputs 0 1\n"),
+               std::invalid_argument);
+}
+
+TEST(Serialize, RejectsWrongVersion) {
+  EXPECT_THROW((void)from_text("cnet-topology v2\ninputs 1\noutputs 0\n"),
+               std::invalid_argument);
+}
+
+TEST(Serialize, RejectsUnknownWireReference) {
+  EXPECT_THROW(
+      (void)from_text("cnet-topology v1\ninputs 2\nbalancer 2 0 7\n"
+                      "outputs 2 3\n"),
+      std::invalid_argument);
+}
+
+TEST(Serialize, RejectsDoubleConsumption) {
+  EXPECT_THROW(
+      (void)from_text("cnet-topology v1\ninputs 2\nbalancer 2 0 1\n"
+                      "balancer 2 0 1\noutputs 2 3 4 5\n"),
+      std::invalid_argument);
+}
+
+TEST(Serialize, RejectsMissingOutputs) {
+  EXPECT_THROW((void)from_text("cnet-topology v1\ninputs 2\n"),
+               std::invalid_argument);
+}
+
+TEST(Serialize, RejectsDanglingWires) {
+  EXPECT_THROW(
+      (void)from_text("cnet-topology v1\ninputs 2\nbalancer 2 0 1\n"
+                      "outputs 2\n"),
+      std::invalid_argument);
+}
+
+TEST(Serialize, StructurallyEqualDistinguishesWiring) {
+  // Same shapes, different wiring order: equal under isomorphism but not
+  // structurally.
+  const auto a = from_text(
+      "cnet-topology v1\ninputs 2\nbalancer 2 0 1\noutputs 2 3\n");
+  const auto b = from_text(
+      "cnet-topology v1\ninputs 2\nbalancer 2 1 0\noutputs 2 3\n");
+  EXPECT_FALSE(structurally_equal(a, b));
+  EXPECT_TRUE(structurally_equal(a, a));
+}
+
+}  // namespace
+}  // namespace cnet::topo

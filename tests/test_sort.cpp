@@ -1,0 +1,125 @@
+// Sorting networks from counting networks (paper §7) + Batcher baseline.
+#include "cnet/sort/comparator_net.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cnet/baselines/bitonic.hpp"
+#include "cnet/core/butterfly.hpp"
+#include "cnet/core/counting.hpp"
+#include "cnet/sort/batcher.hpp"
+#include "cnet/util/bitops.hpp"
+
+namespace cnet::sort {
+namespace {
+
+TEST(Schedule, FromSingleBalancer) {
+  topo::Builder b;
+  const auto in = b.add_network_inputs(2);
+  const auto [top, bottom] = b.add_balancer2(in[0], in[1]);
+  const topo::WireId outs[2] = {top, bottom};
+  b.set_outputs(outs);
+  const auto s = schedule_from_topology(std::move(b).build());
+  EXPECT_EQ(s.lanes, 2u);
+  ASSERT_EQ(s.comparators.size(), 1u);
+  EXPECT_EQ(apply(s, std::vector<int>{1, 5}), (std::vector<int>{5, 1}));
+  EXPECT_EQ(apply(s, std::vector<int>{5, 1}), (std::vector<int>{5, 1}));
+}
+
+TEST(Schedule, RejectsIrregularNetworks) {
+  topo::Builder b;
+  const auto in = b.add_network_inputs(2);
+  b.set_outputs(b.add_balancer(in, 4));
+  const auto net = std::move(b).build();
+  EXPECT_THROW((void)schedule_from_topology(net), std::invalid_argument);
+}
+
+// §7: C(w,w) with comparators substituted is a sorting network.
+class CountingSorter : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CountingSorter, SortsAllZeroOneInputs) {
+  const std::size_t w = GetParam();
+  const auto s = schedule_from_topology(core::make_counting(w, w));
+  EXPECT_TRUE(sorts_all_01(s)) << "w=" << w;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CountingSorter, ::testing::Values(2, 4, 8, 16),
+                         ::testing::PrintToStringParamName());
+
+TEST(CountingSorterLarge, SortsRandomPermutations) {
+  const auto s = schedule_from_topology(core::make_counting(64, 64));
+  EXPECT_TRUE(sorts_random(s, 200, 0x50F7));
+}
+
+TEST(CountingSorterDepth, IsQuadraticInLgW) {
+  for (const std::size_t w : {4u, 8u, 16u, 32u}) {
+    const auto s = schedule_from_topology(core::make_counting(w, w));
+    const std::size_t k = util::ilog2(w);
+    EXPECT_EQ(s.depth, (k * k + k) / 2);
+  }
+}
+
+// The bitonic *counting* network also yields a sorting network (AHS).
+TEST(BitonicSorter, FromBitonicCountingNetwork) {
+  const auto s = schedule_from_topology(baselines::make_bitonic(8));
+  EXPECT_TRUE(sorts_all_01(s));
+}
+
+// A butterfly is merely smoothing, NOT counting — its comparator network
+// must fail to sort (this validates that the checker has teeth).
+TEST(ZeroOneChecker, RejectsButterfly) {
+  const auto s =
+      schedule_from_topology(core::make_forward_butterfly(8));
+  EXPECT_FALSE(sorts_all_01(s));
+}
+
+TEST(Batcher, SortsAllZeroOne) {
+  for (const std::size_t w : {2u, 4u, 8u, 16u}) {
+    EXPECT_TRUE(sorts_all_01(make_batcher_bitonic(w))) << w;
+  }
+}
+
+TEST(Batcher, SortsRandomLarge) {
+  EXPECT_TRUE(sorts_random(make_batcher_bitonic(128), 100, 0xBA7C));
+}
+
+TEST(Batcher, DepthMatchesClosedForm) {
+  for (const std::size_t w : {2u, 4u, 8u, 16u, 32u}) {
+    const std::size_t k = util::ilog2(w);
+    EXPECT_EQ(make_batcher_bitonic(w).depth, (k * k + k) / 2);
+  }
+}
+
+TEST(Batcher, SameComparatorCountAsCwwSorter) {
+  // Both are (lg²w+lgw)/2 layers of w/2 comparators.
+  for (const std::size_t w : {4u, 8u, 16u}) {
+    const auto batcher = make_batcher_bitonic(w);
+    const auto cww = schedule_from_topology(core::make_counting(w, w));
+    EXPECT_EQ(batcher.comparators.size(), cww.comparators.size()) << w;
+  }
+}
+
+TEST(Apply, SortsArbitraryValuesDescending) {
+  const auto s = schedule_from_topology(core::make_counting(8, 8));
+  const std::vector<int> input = {3, -1, 41, 7, 7, 0, -5, 100};
+  auto expected = input;
+  std::sort(expected.begin(), expected.end(), std::greater<>());
+  EXPECT_EQ(apply(s, input), expected);
+}
+
+TEST(Apply, RejectsWrongWidth) {
+  const auto s = make_batcher_bitonic(4);
+  std::vector<int> wrong = {1, 2, 3};
+  EXPECT_THROW(apply_in_place(s, std::span<int>(wrong)),
+               std::invalid_argument);
+}
+
+TEST(Batcher, RejectsBadWidth) {
+  EXPECT_THROW((void)make_batcher_bitonic(3), std::invalid_argument);
+  EXPECT_THROW((void)make_batcher_bitonic(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cnet::sort

@@ -1,0 +1,56 @@
+#include "cnet/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cnet::util {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, RejectsRowWidthMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, CountsRows) {
+  Table t({"x"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({"1"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Format, FmtInt) { EXPECT_EQ(fmt_int(-42), "-42"); }
+
+TEST(Format, FmtDouble) { EXPECT_EQ(fmt_double(3.14159, 2), "3.14"); }
+
+TEST(Format, FmtRatioHandlesZeroDenominator) {
+  EXPECT_EQ(fmt_ratio(1.0, 0.0), "n/a");
+  EXPECT_EQ(fmt_ratio(3.0, 2.0, 1), "1.5");
+}
+
+}  // namespace
+}  // namespace cnet::util

@@ -1,0 +1,168 @@
+// Discrete-event timed simulator: exact small cases, conservation laws,
+// and the qualitative throughput behaviour the experimental study reports.
+#include "cnet/sim/timed_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnet/baselines/bitonic.hpp"
+#include "cnet/core/counting.hpp"
+#include "cnet/util/bitops.hpp"
+
+namespace cnet::sim {
+namespace {
+
+topo::Topology single_balancer(std::size_t inputs, std::size_t outputs) {
+  topo::Builder b;
+  const auto in = b.add_network_inputs(inputs);
+  b.set_outputs(b.add_balancer(in, outputs));
+  return std::move(b).build();
+}
+
+TEST(TimedSim, RejectsBadConfig) {
+  const auto net = single_balancer(2, 2);
+  TimedConfig cfg;
+  cfg.total_tokens = 0;
+  EXPECT_THROW((void)simulate_timed(net, cfg), std::invalid_argument);
+  cfg.total_tokens = 1;
+  cfg.service_time = 0.0;
+  EXPECT_THROW((void)simulate_timed(net, cfg), std::invalid_argument);
+}
+
+TEST(TimedSim, SingleTokenSingleBalancerExactTimes) {
+  const auto net = single_balancer(2, 2);
+  TimedConfig cfg;
+  cfg.concurrency = 1;
+  cfg.total_tokens = 1;
+  cfg.service_time = 2.5;
+  const auto res = simulate_timed(net, cfg);
+  EXPECT_DOUBLE_EQ(res.makespan, 2.5);
+  EXPECT_DOUBLE_EQ(res.mean_latency, 2.5);
+  EXPECT_DOUBLE_EQ(res.max_latency, 2.5);
+  EXPECT_DOUBLE_EQ(res.mean_queue_wait, 0.0);
+}
+
+TEST(TimedSim, SequentialTokensSerializeOnOneBalancer) {
+  // One process, m tokens, service 1: makespan = m (think time 0).
+  const auto net = single_balancer(2, 2);
+  TimedConfig cfg;
+  cfg.concurrency = 1;
+  cfg.total_tokens = 10;
+  const auto res = simulate_timed(net, cfg);
+  EXPECT_DOUBLE_EQ(res.makespan, 10.0);
+  EXPECT_DOUBLE_EQ(res.throughput, 1.0);
+}
+
+TEST(TimedSim, TwoProcessesQueueAtOneBalancer) {
+  // Both tokens arrive at t=0; the second waits one service.
+  const auto net = single_balancer(2, 2);
+  TimedConfig cfg;
+  cfg.concurrency = 2;
+  cfg.total_tokens = 2;
+  const auto res = simulate_timed(net, cfg);
+  EXPECT_DOUBLE_EQ(res.makespan, 2.0);
+  EXPECT_DOUBLE_EQ(res.max_latency, 2.0);
+  EXPECT_DOUBLE_EQ(res.mean_queue_wait, 0.5);  // (0 + 1) / 2
+}
+
+TEST(TimedSim, PipelineOverlapsAcrossLayers) {
+  // Two balancers in series (width 2). Two tokens from one wire pipeline:
+  // makespan 3, not 4.
+  topo::Builder b;
+  const auto in = b.add_network_inputs(2);
+  const auto [a0, a1] = b.add_balancer2(in[0], in[1]);
+  const auto [c0, c1] = b.add_balancer2(a0, a1);
+  const topo::WireId outs[2] = {c0, c1};
+  b.set_outputs(outs);
+  const auto net = std::move(b).build();
+  TimedConfig cfg;
+  cfg.concurrency = 2;
+  cfg.total_tokens = 2;
+  const auto res = simulate_timed(net, cfg);
+  EXPECT_DOUBLE_EQ(res.makespan, 3.0);
+}
+
+TEST(TimedSim, WireDelayAddsUp) {
+  const auto net = core::make_counting(4, 4);  // depth 3
+  TimedConfig cfg;
+  cfg.concurrency = 1;
+  cfg.total_tokens = 1;
+  cfg.wire_delay = 0.5;
+  // Path: 3 services + 3 post-balancer wire hops (the final hop reaches the
+  // output).
+  const auto res = simulate_timed(net, cfg);
+  EXPECT_DOUBLE_EQ(res.makespan, 3.0 + 3 * 0.5);
+}
+
+TEST(TimedSim, LatencyAtLeastDepthTimesService) {
+  for (const std::size_t w : {4u, 8u, 16u}) {
+    const auto net = baselines::make_bitonic(w);
+    TimedConfig cfg;
+    cfg.concurrency = 8;
+    cfg.total_tokens = 200;
+    const auto res = simulate_timed(net, cfg);
+    EXPECT_GE(res.mean_latency,
+              static_cast<double>(net.depth()) * cfg.service_time);
+  }
+}
+
+TEST(TimedSim, ExponentialServiceMatchesMeanInExpectation) {
+  // One process, no queueing: mean latency over many tokens must approach
+  // depth * mean service time (LLN; generous tolerance).
+  const auto net = core::make_counting(4, 4);  // depth 3
+  TimedConfig cfg;
+  cfg.concurrency = 1;
+  cfg.total_tokens = 20000;
+  cfg.exponential_service = true;
+  cfg.seed = 11;
+  const auto res = simulate_timed(net, cfg);
+  EXPECT_NEAR(res.mean_latency, 3.0, 0.15);
+  EXPECT_DOUBLE_EQ(res.mean_queue_wait, 0.0);
+}
+
+TEST(TimedSim, DeterministicForFixedSeed) {
+  const auto net = core::make_counting(8, 16);
+  TimedConfig cfg;
+  cfg.concurrency = 12;
+  cfg.total_tokens = 500;
+  cfg.exponential_service = true;
+  cfg.seed = 77;
+  const auto r1 = simulate_timed(net, cfg);
+  const auto r2 = simulate_timed(net, cfg);
+  EXPECT_DOUBLE_EQ(r1.makespan, r2.makespan);
+  EXPECT_DOUBLE_EQ(r1.mean_latency, r2.mean_latency);
+}
+
+TEST(TimedSim, ThroughputGrowsWithConcurrencyThenSaturates) {
+  const auto net = core::make_counting(8, 8);
+  auto tp = [&](std::size_t n) {
+    TimedConfig cfg;
+    cfg.concurrency = n;
+    cfg.total_tokens = 2000;
+    return simulate_timed(net, cfg).throughput;
+  };
+  const double t1 = tp(1), t4 = tp(4), t32 = tp(32), t128 = tp(128);
+  EXPECT_GT(t4, t1 * 1.5);  // scaling regime
+  EXPECT_GT(t32, t4);
+  EXPECT_LE(t128, t32 * 1.25);  // saturated regime: no big further gains
+}
+
+// The experimental-study shape: under heavy concurrency the wide-output
+// C(w, w·lgw) sustains at least the throughput of the bitonic network of
+// equal width and depth (queues in N_c are spread over t servers).
+TEST(TimedSim, WideOutputBeatsBitonicUnderLoad) {
+  const std::size_t w = 16;
+  const std::size_t n = 256;
+  TimedConfig cfg;
+  cfg.concurrency = n;
+  cfg.total_tokens = 4000;
+  const double bitonic =
+      simulate_timed(baselines::make_bitonic(w), cfg).throughput;
+  const double wide =
+      simulate_timed(core::make_counting(w, w * util::ilog2(w)), cfg)
+          .throughput;
+  EXPECT_GE(wide, bitonic * 0.95)
+      << "wide=" << wide << " bitonic=" << bitonic;
+}
+
+}  // namespace
+}  // namespace cnet::sim

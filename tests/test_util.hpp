@@ -1,0 +1,35 @@
+// Shared helpers for the cnet test suite.
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "cnet/seq/sequence.hpp"
+#include "cnet/topology/quiescent.hpp"
+#include "cnet/topology/topology.hpp"
+#include "cnet/util/prng.hpp"
+
+namespace cnet::test {
+
+// Random input distribution with per-wire counts in [0, max_per_wire].
+inline seq::Sequence random_input(std::size_t w, seq::Value max_per_wire,
+                                  util::Xoshiro256& rng) {
+  seq::Sequence x(w);
+  for (auto& v : x) {
+    v = static_cast<seq::Value>(
+        rng.below(static_cast<std::uint64_t>(max_per_wire) + 1));
+  }
+  return x;
+}
+
+// True iff `values` is a permutation of {0, 1, ..., values.size()-1}.
+inline bool is_exact_range(std::vector<seq::Value> values) {
+  std::sort(values.begin(), values.end());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] != static_cast<seq::Value>(i)) return false;
+  }
+  return true;
+}
+
+}  // namespace cnet::test
