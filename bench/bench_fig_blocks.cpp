@@ -15,6 +15,7 @@
 #include "cnet/sim/contention.hpp"
 #include "cnet/util/bitops.hpp"
 #include "cnet/util/table.hpp"
+#include "support/report.hpp"
 
 namespace {
 
@@ -38,10 +39,9 @@ std::vector<std::string> block_labels(const topo::Topology& net,
 
 }  // namespace
 
-int main() {
-  std::puts("============================================================");
-  std::puts(" Fig. 3: block decomposition of C(w,t) into Na / Nb / Nc");
-  std::puts("============================================================");
+int main(int argc, char** argv) {
+  const auto opts = bench::ReportOptions::parse(argc, argv);
+  bench::section("Fig. 3: block decomposition of C(w,t) into Na / Nb / Nc");
   {
     util::Table table({"network", "layers Na", "layers Nb", "layers Nc",
                        "balancers Na", "balancers Nb", "balancers Nc"});
@@ -60,7 +60,7 @@ int main() {
              util::fmt_int(static_cast<std::int64_t>(census.balancers_nc))});
       }
     }
-    table.print(std::cout);
+    bench::emit(table, opts);
   }
 
   std::puts("");
@@ -95,10 +95,10 @@ int main() {
            util::fmt_double(nc, 2),
            util::fmt_ratio(nc, report.stalls_per_token, 2)});
     }
-    table.print(std::cout);
-    std::puts(
+    bench::emit(table, opts);
+    bench::note(
         "\nexpected shape: Nc dominates at t=w and collapses as t grows;\n"
-        "Na/Nb stay roughly constant (paper §1.3.2).");
+        "Na/Nb stay roughly constant (paper §1.3.2).", opts);
   }
   return 0;
 }

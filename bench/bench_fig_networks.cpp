@@ -21,6 +21,7 @@
 #include "cnet/topology/dot.hpp"
 #include "cnet/topology/quiescent.hpp"
 #include "cnet/util/table.hpp"
+#include "support/report.hpp"
 
 namespace {
 
@@ -69,10 +70,9 @@ void figure1_worked_example() {
 
 }  // namespace
 
-int main() {
-  std::puts("=====================================================");
-  std::puts(" Figures 1-3, 5-6, 10-14: network structure census");
-  std::puts("=====================================================");
+int main(int argc, char** argv) {
+  const auto opts = bench::ReportOptions::parse(argc, argv);
+  bench::section("Figures 1-3, 5-6, 10-14: network structure census");
   figure1_worked_example();
 
   util::Table table({"figure", "network", "w", "t", "depth", "balancers",
@@ -89,7 +89,7 @@ int main() {
   dump("Fig.13", "C_8_16b", core::make_counting(8, 16), table);
   dump("Fig.14", "D_8", core::make_forward_butterfly(8), table);
   dump("Fig.14", "E_8", core::make_backward_butterfly(8), table);
-  table.print(std::cout);
+  bench::emit(table, opts);
   std::puts("\n(.dot files written next to the binary; render with graphviz)");
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "cnet/topology/quiescent.hpp"
 #include "cnet/util/prng.hpp"
 #include "cnet/util/table.hpp"
+#include "support/report.hpp"
 
 namespace {
 
@@ -26,10 +27,9 @@ double contention_of(const topo::Topology& net, std::size_t n) {
 
 }  // namespace
 
-int main() {
-  std::puts("=================================================================");
-  std::puts(" Ablation: M(t,w/2) (paper) vs bitonic merger inside C(w,t)");
-  std::puts("=================================================================");
+int main(int argc, char** argv) {
+  const auto opts = bench::ReportOptions::parse(argc, argv);
+  bench::section("Ablation: M(t,w/2) (paper) vs bitonic merger inside C(w,t)");
   util::Xoshiro256 rng(0xAB);
   util::Table table({"w", "t", "depth ours", "depth ablated",
                      "balancers ours", "balancers ablated", "both count"});
@@ -49,15 +49,13 @@ int main() {
                      ok ? "yes" : "NO"});
     }
   }
-  table.print(std::cout);
-  std::puts(
+  bench::emit(table, opts);
+  bench::note(
       "\nexpected shape: 'depth ours' is flat in t (Theorem 4.1); 'depth\n"
-      "ablated' grows with every doubling of t (it is Θ(lg w · lg t)).");
+      "ablated' grows with every doubling of t (it is Θ(lg w · lg t)).", opts);
 
   std::puts("");
-  std::puts("=================================================================");
-  std::puts(" Contention price of the extra depth (w=16, n=256, adversary)");
-  std::puts("=================================================================");
+  bench::section("Contention price of the extra depth (w=16, n=256, adversary)");
   {
     const std::size_t w = 16, n = 256;
     util::Table table2({"t", "ours", "ablated", "ablated/ours"});
@@ -71,10 +69,10 @@ int main() {
                       util::fmt_ratio(ablated, ours, 2)});
     }
     table2.print(std::cout);
-    std::puts(
+    bench::note(
         "\nexpected shape: the ablated variant pays more stalls per token\n"
         "as t grows (more layers for tokens to collide in), while the\n"
-        "paper's construction improves with t.");
+        "paper's construction improves with t.", opts);
   }
   return 0;
 }

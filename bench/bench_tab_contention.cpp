@@ -22,6 +22,7 @@
 #include "cnet/sim/contention.hpp"
 #include "cnet/util/bitops.hpp"
 #include "cnet/util/table.hpp"
+#include "support/report.hpp"
 
 namespace {
 
@@ -37,10 +38,9 @@ double contention_of(const topo::Topology& net, std::size_t n) {
 
 }  // namespace
 
-int main() {
-  std::puts("=================================================================");
-  std::puts(" Table A: stalls/token vs concurrency n (w = 16, adversary)");
-  std::puts("=================================================================");
+int main(int argc, char** argv) {
+  const auto opts = bench::ReportOptions::parse(argc, argv);
+  bench::section("Table A: stalls/token vs concurrency n (w = 16, adversary)");
   {
     const std::size_t w = 16;
     const std::size_t lgw = util::ilog2(w);
@@ -60,16 +60,14 @@ int main() {
                      util::fmt_double(c1, 2), util::fmt_double(c2, 2),
                      util::fmt_ratio(cb, c2, 2)});
     }
-    table.print(std::cout);
-    std::puts(
+    bench::emit(table, opts);
+    bench::note(
         "\nexpected shape: all grow ~linearly in n; C(16,64) grows ~lg w\n"
-        "times slower than bitonic/C(16,16); periodic is worst (lg^3 w).");
+        "times slower than bitonic/C(16,16); periodic is worst (lg^3 w).", opts);
   }
 
   std::puts("");
-  std::puts("=================================================================");
-  std::puts(" Table B: stalls/token vs output width t (w = 16, n = 512)");
-  std::puts("=================================================================");
+  bench::section("Table B: stalls/token vs output width t (w = 16, n = 512)");
   {
     const std::size_t w = 16, n = 512;
     util::Table table({"t", "measured", "paper bound", "bound/measured"});
@@ -82,16 +80,14 @@ int main() {
                      util::fmt_double(bound, 1),
                      util::fmt_ratio(bound, measured, 1)});
     }
-    table.print(std::cout);
-    std::puts(
+    bench::emit(table, opts);
+    bench::note(
         "\nexpected shape: measured contention decreases monotonically in t\n"
-        "and stays below the Theorem 6.7 bound (the bound is not tight).");
+        "and stays below the Theorem 6.7 bound (the bound is not tight).", opts);
   }
 
   std::puts("");
-  std::puts("=================================================================");
-  std::puts(" Table C: the lg w gap — C(w, w lg w) vs bitonic(w), n = 16w");
-  std::puts("=================================================================");
+  bench::section("Table C: the lg w gap — C(w, w lg w) vs bitonic(w), n = 16w");
   {
     util::Table table({"w", "lg w", "bitonic", "C(w,w lg w)", "ratio"});
     for (const std::size_t w : {8u, 16u, 32u, 64u}) {
@@ -104,10 +100,10 @@ int main() {
                      util::fmt_double(cb, 2), util::fmt_double(co, 2),
                      util::fmt_ratio(cb, co, 2)});
     }
-    table.print(std::cout);
-    std::puts(
+    bench::emit(table, opts);
+    bench::note(
         "\nexpected shape: the ratio grows with w roughly like lg w\n"
-        "(paper §1.3.1: O(n lg^2 w / w) vs O(n lg w / w)).");
+        "(paper §1.3.1: O(n lg^2 w / w) vs O(n lg w / w)).", opts);
   }
   return 0;
 }

@@ -16,6 +16,7 @@
 #include "cnet/util/bitops.hpp"
 #include "cnet/util/prng.hpp"
 #include "cnet/util/table.hpp"
+#include "support/report.hpp"
 
 namespace {
 
@@ -38,10 +39,9 @@ void add_row(util::Table& table, const std::string& name,
 
 }  // namespace
 
-int main() {
-  std::puts("=================================================================");
-  std::puts(" Theorem 4.1: depth(C(w,t)) = (lg^2 w + lg w)/2, vs baselines");
-  std::puts("=================================================================");
+int main(int argc, char** argv) {
+  const auto opts = bench::ReportOptions::parse(argc, argv);
+  bench::section("Theorem 4.1: depth(C(w,t)) = (lg^2 w + lg w)/2, vs baselines");
   util::Xoshiro256 rng(0xDEP7);
   util::Table table({"network", "w", "t", "depth", "paper", "match",
                      "balancers", "counts"});
@@ -61,11 +61,11 @@ int main() {
     add_row(table, "difftree(" + std::to_string(w) + ")",
             baselines::make_diffracting_tree(w), k, rng);
   }
-  table.print(std::cout);
-  std::puts(
+  bench::emit(table, opts);
+  bench::note(
       "\npaper claims reproduced:\n"
       " * depth(C(w,t)) independent of t and equal to the bitonic depth;\n"
       " * periodic depth lg^2 w (worse for every w >= 4);\n"
-      " * every constructed network satisfies the step property.");
+      " * every constructed network satisfies the step property.", opts);
   return 0;
 }

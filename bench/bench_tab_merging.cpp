@@ -15,6 +15,7 @@
 #include "cnet/topology/quiescent.hpp"
 #include "cnet/util/bitops.hpp"
 #include "cnet/util/table.hpp"
+#include "support/report.hpp"
 
 namespace {
 
@@ -37,10 +38,9 @@ bool verify_merge(const topo::Topology& net, std::size_t delta) {
 
 }  // namespace
 
-int main() {
-  std::puts("=================================================================");
-  std::puts(" §3.3: M(t, δ) (depth lg δ) vs bitonic merger (depth lg t)");
-  std::puts("=================================================================");
+int main(int argc, char** argv) {
+  const auto opts = bench::ReportOptions::parse(argc, argv);
+  bench::section("§3.3: M(t, δ) (depth lg δ) vs bitonic merger (depth lg t)");
   util::Table table({"t", "delta", "M depth", "M balancers", "bitonic depth",
                      "bitonic balancers", "depth saved", "merges"});
   for (const std::size_t t : {8u, 16u, 32u, 64u, 128u, 256u}) {
@@ -60,10 +60,10 @@ int main() {
            ok ? (t <= 64 ? "verified" : "-") : "FAIL"});
     }
   }
-  table.print(std::cout);
-  std::puts(
+  bench::emit(table, opts);
+  bench::note(
       "\npaper claims reproduced: depth(M(t,δ)) = lg δ independent of t;\n"
       "inside C(w,t) (δ = w/2 << t) the saving is what keeps total depth\n"
-      "a function of w only (§1.3.2).");
+      "a function of w only (§1.3.2).", opts);
   return 0;
 }

@@ -24,6 +24,7 @@
 #include "cnet/util/prng.hpp"
 #include "cnet/util/stats.hpp"
 #include "cnet/util/table.hpp"
+#include "support/report.hpp"
 
 namespace {
 
@@ -43,13 +44,12 @@ std::vector<std::uint32_t> random_states(const topo::Topology& net,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = bench::ReportOptions::parse(argc, argv);
   util::Xoshiro256 rng(0x57A7E5);
   constexpr int kTrials = 2000;
 
-  std::puts("=================================================================");
-  std::puts(" §7 experiment: ladder half-sum gap, zero vs random init states");
-  std::puts("=================================================================");
+  bench::section("§7 experiment: ladder half-sum gap, zero vs random init states");
   {
     util::Table table({"w", "det max |gap|", "rand mean gap", "rand sd",
                        "rand max |gap|", "paper bound w/2"});
@@ -79,17 +79,15 @@ int main() {
                      util::fmt_double(rnd_absmax, 0),
                      util::fmt_int(static_cast<std::int64_t>(w / 2))});
     }
-    table.print(std::cout);
-    std::puts(
+    bench::emit(table, opts);
+    bench::note(
         "\nexpected shape: randomized gaps centre at 0 with sd ~ sqrt(w)/2,\n"
         "typically far below the deterministic one-sided bound w/2 — the\n"
-        "effect the paper's §7 speculates could shrink merger depth.");
+        "effect the paper's §7 speculates could shrink merger depth.", opts);
   }
 
   std::puts("");
-  std::puts("=================================================================");
-  std::puts(" §7 experiment: butterfly smoothness, zero vs random init states");
-  std::puts("=================================================================");
+  bench::section("§7 experiment: butterfly smoothness, zero vs random init states");
   {
     util::Table table({"w", "lg w", "det worst", "rand mean", "rand worst"});
     for (const std::size_t w : {8u, 16u, 32u, 64u}) {
@@ -113,11 +111,11 @@ int main() {
                      util::fmt_double(rnd_acc.mean(), 2),
                      util::fmt_int(rnd_worst)});
     }
-    table.print(std::cout);
-    std::puts(
+    bench::emit(table, opts);
+    bench::note(
         "\nexpected shape: random initial states keep the typical output\n"
         "smoothness small (O(lg w)-ish in the worst observed case), in line\n"
-        "with the randomized-smoothing literature cited in §7.");
+        "with the randomized-smoothing literature cited in §7.", opts);
   }
   return 0;
 }

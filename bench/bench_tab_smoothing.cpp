@@ -11,17 +11,17 @@
 #include "cnet/util/bitops.hpp"
 #include "cnet/util/prng.hpp"
 #include "cnet/util/table.hpp"
+#include "support/report.hpp"
 
 namespace {
 using namespace cnet;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = bench::ReportOptions::parse(argc, argv);
   util::Xoshiro256 rng(0x5300);
 
-  std::puts("=================================================================");
-  std::puts(" Lemma 5.2: butterfly smoothness (worst over 600 random inputs)");
-  std::puts("=================================================================");
+  bench::section("Lemma 5.2: butterfly smoothness (worst over 600 random inputs)");
   {
     util::Table table({"network", "measured", "bound lg w", "within"});
     for (const std::size_t w : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
@@ -36,13 +36,11 @@ int main() {
                        worst <= bound ? "yes" : "NO"});
       }
     }
-    table.print(std::cout);
+    bench::emit(table, opts);
   }
 
   std::puts("");
-  std::puts("=================================================================");
-  std::puts(" Lemma 5.3: backward butterfly isomorphic to forward butterfly");
-  std::puts("=================================================================");
+  bench::section("Lemma 5.3: backward butterfly isomorphic to forward butterfly");
   {
     util::Table table({"w", "isomorphic"});
     for (const std::size_t w : {2u, 4u, 8u, 16u}) {
@@ -51,13 +49,11 @@ int main() {
       table.add_row({util::fmt_int(static_cast<std::int64_t>(w)),
                      iso ? "yes" : "NO"});
     }
-    table.print(std::cout);
+    bench::emit(table, opts);
   }
 
   std::puts("");
-  std::puts("=================================================================");
-  std::puts(" Lemma 6.6: smoothness of the C(w,t) prefix N_a,b");
-  std::puts("=================================================================");
+  bench::section("Lemma 6.6: smoothness of the C(w,t) prefix N_a,b");
   {
     util::Table table({"prefix", "measured", "bound s", "within"});
     for (const std::size_t w : {4u, 8u, 16u, 32u}) {
@@ -74,10 +70,10 @@ int main() {
              worst <= bound ? "yes" : "NO"});
       }
     }
-    table.print(std::cout);
-    std::puts(
+    bench::emit(table, opts);
+    bench::note(
         "\nexpected shape: measured smoothness never exceeds the bound, and\n"
-        "widening t tightens the prefix output (s shrinks to 2).");
+        "widening t tightens the prefix output (s shrinks to 2).", opts);
   }
   return 0;
 }

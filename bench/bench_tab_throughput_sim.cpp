@@ -20,6 +20,7 @@
 #include "cnet/sim/timed_sim.hpp"
 #include "cnet/util/bitops.hpp"
 #include "cnet/util/table.hpp"
+#include "support/report.hpp"
 
 namespace {
 
@@ -41,7 +42,8 @@ sim::TimedResult run(const topo::Topology& net, std::size_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = bench::ReportOptions::parse(argc, argv);
   const std::size_t w = 16;
   const std::size_t lgw = util::ilog2(w);
 
@@ -80,13 +82,11 @@ int main() {
       }
       table.add_row(row);
     }
-    table.print(std::cout);
+    bench::emit(table, opts);
   }
 
   std::puts("");
-  std::puts("=================================================================");
-  std::puts(" mean Fetch&Increment latency (time units) vs concurrency n");
-  std::puts("=================================================================");
+  bench::section("mean Fetch&Increment latency (time units) vs concurrency n");
   {
     std::vector<std::string> headers = {"n"};
     for (const auto& net : nets) headers.push_back(net.name);
@@ -99,12 +99,12 @@ int main() {
       }
       table.add_row(row);
     }
-    table.print(std::cout);
+    bench::emit(table, opts);
   }
-  std::puts(
+  bench::note(
       "\nexpected shape: the central server caps at 1.0; counting networks\n"
       "scale with n; at n >> w, C(16,64) sustains the best network\n"
       "throughput and the lowest latency growth; periodic trails (depth\n"
-      "lg^2 w); the diffracting tree caps at its root's service rate.");
+      "lg^2 w); the diffracting tree caps at its root's service rate.", opts);
   return 0;
 }

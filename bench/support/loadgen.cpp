@@ -1,0 +1,144 @@
+#include "support/loadgen.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "cnet/util/cacheline.hpp"
+#include "cnet/util/stats.hpp"
+
+namespace cnet::bench {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+enum Phase : int { kWarmup = 0, kMeasure = 1, kStop = 2 };
+
+struct alignas(util::kCacheLine) ThreadTally {
+  std::uint64_t ops = 0;             // measured-phase logical ops
+  std::vector<double> latencies_ns;  // sampled op-call latencies
+};
+
+}  // namespace
+
+LoadGenResult run_loadgen(const LoadGenConfig& cfg, const OpFn& op) {
+  const std::size_t threads = cfg.threads ? cfg.threads : 1;
+  std::atomic<int> phase{kWarmup};
+  std::atomic<std::size_t> ready{0};
+  std::vector<ThreadTally> tallies(threads);
+
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        ThreadTally& tally = tallies[t];
+        ready.fetch_add(1, std::memory_order_release);
+        std::uint64_t calls = 0;
+        bool measuring = false;
+        for (;;) {
+          const int p = phase.load(std::memory_order_acquire);
+          if (p == kStop) break;
+          if (p == kMeasure && !measuring) {
+            // First sight of the measured phase: reset the tally so warmup
+            // work never counts.
+            measuring = true;
+            tally.ops = 0;
+            tally.latencies_ns.clear();
+          }
+          const bool sample = measuring && cfg.latency_sample_every != 0 &&
+                              calls % cfg.latency_sample_every == 0;
+          if (sample) {
+            const auto begin = Clock::now();
+            const std::uint64_t done = op(t);
+            const auto end = Clock::now();
+            tally.ops += done;
+            tally.latencies_ns.push_back(
+                std::chrono::duration<double, std::nano>(end - begin)
+                    .count());
+          } else {
+            const std::uint64_t done = op(t);
+            if (measuring) tally.ops += done;
+          }
+          ++calls;
+        }
+      });
+    }
+
+    while (ready.load(std::memory_order_acquire) != threads) {
+      std::this_thread::yield();
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(cfg.warmup_seconds));
+    if (cfg.on_measure_begin) cfg.on_measure_begin();
+    const auto measure_begin = Clock::now();
+    phase.store(kMeasure, std::memory_order_release);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(cfg.measure_seconds));
+    phase.store(kStop, std::memory_order_release);
+    const auto measure_end = Clock::now();
+
+    LoadGenResult result;
+    result.threads = threads;
+    result.seconds =
+        std::chrono::duration<double>(measure_end - measure_begin).count();
+    // jthreads join at scope exit; collect below, after the join.
+    workers.clear();
+
+    result.min_thread_ops = ~std::uint64_t{0};
+    std::vector<double> all_latencies;
+    for (const ThreadTally& tally : tallies) {
+      result.total_ops += tally.ops;
+      result.min_thread_ops = std::min(result.min_thread_ops, tally.ops);
+      result.max_thread_ops = std::max(result.max_thread_ops, tally.ops);
+      all_latencies.insert(all_latencies.end(), tally.latencies_ns.begin(),
+                           tally.latencies_ns.end());
+    }
+    if (result.total_ops == 0) result.min_thread_ops = 0;
+    result.ops_per_sec =
+        result.seconds > 0 ? static_cast<double>(result.total_ops) /
+                                 result.seconds
+                           : 0.0;
+    if (!all_latencies.empty()) {
+      result.has_latency = true;
+      result.p50_ns = util::percentile(all_latencies, 50.0);
+      result.p99_ns = util::percentile(all_latencies, 99.0);
+      util::Accumulator acc;
+      for (const double v : all_latencies) acc.add(v);
+      result.max_ns = acc.max();
+    }
+    return result;
+  }
+}
+
+std::string fmt_rate(double ops_per_sec) {
+  char buf[32];
+  if (ops_per_sec >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2fG/s", ops_per_sec / 1e9);
+  } else if (ops_per_sec >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2fM/s", ops_per_sec / 1e6);
+  } else if (ops_per_sec >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1fk/s", ops_per_sec / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f/s", ops_per_sec);
+  }
+  return buf;
+}
+
+std::string fmt_ns(double ns) {
+  char buf[32];
+  if (ns >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2fms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.2fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0fns", ns);
+  }
+  return buf;
+}
+
+}  // namespace cnet::bench

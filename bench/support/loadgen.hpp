@@ -1,0 +1,55 @@
+// The unified load-generation harness every thread-based bench and example
+// is built on: a thread pool with stable per-thread hints, a warmup phase
+// followed by a timed measurement phase, per-thread cache-line-padded
+// tallies, and throughput + latency-percentile reporting via util::stats.
+// Replaces the hand-rolled spawn/time loops the drivers used to carry.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace cnet::bench {
+
+struct LoadGenConfig {
+  std::size_t threads = 1;
+  double warmup_seconds = 0.15;
+  double measure_seconds = 0.75;
+  // Record one latency sample every this many op-calls (0 disables latency
+  // tracking; sampling keeps the probe overhead off the hot path).
+  std::size_t latency_sample_every = 64;
+  // Invoked on the coordinator thread immediately before the measured
+  // phase opens — e.g. to snapshot a lifetime counter (stall tallies) so
+  // warmup-phase accumulation can be subtracted out.
+  std::function<void()> on_measure_begin;
+};
+
+struct LoadGenResult {
+  std::size_t threads = 0;
+  double seconds = 0.0;          // measured-phase wall time
+  std::uint64_t total_ops = 0;   // logical operations in the measured phase
+  double ops_per_sec = 0.0;
+  std::uint64_t min_thread_ops = 0;  // fairness spread across threads
+  std::uint64_t max_thread_ops = 0;
+  bool has_latency = false;      // latency fields valid (sampling enabled)
+  double p50_ns = 0.0;           // latency of one op-call, nanoseconds
+  double p99_ns = 0.0;
+  double max_ns = 0.0;
+};
+
+// One unit of work for thread `thread_index` (a stable hint in
+// [0, threads)); returns how many logical operations it completed — 1 for a
+// single fetch_increment, k for a k-token batch.
+using OpFn = std::function<std::uint64_t(std::size_t thread_index)>;
+
+// Runs `op` on cfg.threads threads: all threads warm up together, then a
+// timed phase is measured, then everyone stops. Only measured-phase ops
+// count toward the result.
+LoadGenResult run_loadgen(const LoadGenConfig& cfg, const OpFn& op);
+
+// "12.3M/s"-style rate for table cells.
+std::string fmt_rate(double ops_per_sec);
+// "1.2us"-style duration for table cells.
+std::string fmt_ns(double ns);
+
+}  // namespace cnet::bench

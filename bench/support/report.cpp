@@ -1,0 +1,44 @@
+#include "support/report.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace cnet::bench {
+
+ReportOptions ReportOptions::parse(int argc, char** argv) {
+  ReportOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--csv")) {
+      opts.csv = true;
+    } else if (!std::strcmp(argv[i], "--help") ||
+               !std::strcmp(argv[i], "-h")) {
+      std::fprintf(stderr, "usage: %s [--csv]\n", argv[0]);
+      std::exit(0);
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\nusage: %s [--csv]\n", argv[i],
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+void section(const std::string& title) {
+  const std::string bar(65, '=');
+  std::printf("%s\n %s\n%s\n", bar.c_str(), title.c_str(), bar.c_str());
+}
+
+void emit(const util::Table& table, const ReportOptions& opts,
+          std::ostream& os) {
+  if (opts.csv) {
+    os << table.to_csv();
+  } else {
+    table.print(os);
+  }
+}
+
+void note(const std::string& text, const ReportOptions& opts) {
+  if (!opts.csv) std::printf("%s\n", text.c_str());
+}
+
+}  // namespace cnet::bench

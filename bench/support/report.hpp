@@ -1,0 +1,34 @@
+// Shared console-report scaffolding for the bench drivers: section banners,
+// table passthrough, and a tiny common argument convention (--csv switches
+// every table to CSV), so all drivers speak one output dialect.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "cnet/util/table.hpp"
+
+namespace cnet::bench {
+
+// Parses the arguments shared by every driver. `--help` prints usage and
+// exits 0; an unrecognized `-`-prefixed flag prints usage and exits 2 (the
+// drivers take no other flags).
+struct ReportOptions {
+  bool csv = false;
+
+  static ReportOptions parse(int argc, char** argv);
+};
+
+// "==== title ====" banner, width-matched to the tables.
+void section(const std::string& title);
+
+// Prints the table as aligned text, or CSV when --csv was given.
+void emit(const util::Table& table, const ReportOptions& opts,
+          std::ostream& os = std::cout);
+
+// Footnote paragraph under a table. Skipped in CSV mode, where only table
+// rows and '='/'-' framed banners reach stdout, so row extraction stays a
+// simple grep.
+void note(const std::string& text, const ReportOptions& opts);
+
+}  // namespace cnet::bench

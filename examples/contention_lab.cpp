@@ -1,13 +1,16 @@
 // Contention laboratory: run the paper's §6 stall-counting experiment on
-// any network family with any scheduler from the command line, and print
-// the per-layer/per-block breakdown — the interactive version of
-// bench_tab_contention / bench_fig_blocks.
+// any network family with any scheduler from the command line, print the
+// per-layer/per-block breakdown, then hammer the same network with real
+// threads through the LoadGen harness (CAS-retry discipline) so the
+// simulated stall census can be compared with hardware-observed stalls —
+// the interactive version of bench_tab_contention / bench_fig_blocks.
 //
 // Usage: ./examples/contention_lab <family> <w> [t] [n] [scheduler]
 //   family:    counting | bitonic | periodic | difftree | ablated
 //   scheduler: convoy (default) | greedy | random | rr
 //
 // Example: ./examples/contention_lab counting 16 64 256 convoy
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,8 +23,10 @@
 #include "cnet/baselines/periodic.hpp"
 #include "cnet/core/ablation.hpp"
 #include "cnet/core/counting.hpp"
+#include "cnet/runtime/network_counter.hpp"
 #include "cnet/sim/contention.hpp"
 #include "cnet/util/bitops.hpp"
+#include "support/loadgen.hpp"
 
 int main(int argc, char** argv) {
   if (argc < 3) {
@@ -91,6 +96,45 @@ int main(int argc, char** argv) {
     }
     std::printf("  layer %2zu%s: %8.3f\n", d + 1, block,
                 report.per_layer[d]);
+  }
+
+  // Hardware leg: the same network as a live counter under real threads
+  // (capped at 16 — simulated n models logical concurrency, not cores).
+  // difftree uses its own runtime, so the compiled-network leg skips it.
+  if (family != "difftree") {
+    const std::size_t threads = std::clamp<std::size_t>(n, 1, 16);
+    cnet::rt::NetworkCounter counter(*net, family,
+                                     cnet::rt::BalancerMode::kCasRetry);
+    cnet::bench::LoadGenConfig cfg;
+    cfg.threads = threads;
+    cfg.warmup_seconds = 0.1;
+    cfg.measure_seconds = 0.5;
+    // stall_count() accumulates over the counter's lifetime; snapshot it
+    // when the measured phase opens so stalls/token uses the same window
+    // as the token denominator.
+    std::uint64_t stall_baseline = 0;
+    cfg.on_measure_begin = [&] { stall_baseline = counter.stall_count(); };
+    const auto result = cnet::bench::run_loadgen(cfg, [&](std::size_t t) {
+      volatile std::int64_t sink = counter.fetch_increment(t);
+      (void)sink;
+      return std::uint64_t{1};
+    });
+    std::printf("\nhardware (cas-retry, %zu threads, %.1fs):\n", threads,
+                result.seconds);
+    std::printf("  throughput  : %s\n",
+                cnet::bench::fmt_rate(result.ops_per_sec).c_str());
+    if (result.has_latency) {
+      std::printf("  latency     : p50 %s  p99 %s\n",
+                  cnet::bench::fmt_ns(result.p50_ns).c_str(),
+                  cnet::bench::fmt_ns(result.p99_ns).c_str());
+    }
+    const std::uint64_t stalls = counter.stall_count() - stall_baseline;
+    std::printf("  stalls/token: %.3f (%llu stalls / %llu tokens)\n",
+                result.total_ops ? static_cast<double>(stalls) /
+                                       static_cast<double>(result.total_ops)
+                                 : 0.0,
+                static_cast<unsigned long long>(stalls),
+                static_cast<unsigned long long>(result.total_ops));
   }
   return 0;
 }

@@ -32,7 +32,12 @@ CompiledNetwork::CompiledNetwork(const topo::Topology& net) {
   for (std::uint32_t b = 0; b < num_nodes_; ++b) {
     const auto& bal = net.balancer(topo::BalancerId{b});
     for (std::size_t port = 0; port < bal.fan_out(); ++port) {
-      route_[nodes_[b].route_base + port] = encode(bal.outputs[port]);
+      const std::int32_t dest = encode(bal.outputs[port]);
+      // Balancer creation order is topological (topology.hpp): batch
+      // traversal propagates counts in index order and relies on it.
+      CNET_ENSURE(dest < 0 || dest > static_cast<std::int32_t>(b),
+                  "balancer indices must be topologically ordered");
+      route_[nodes_[b].route_base + port] = dest;
     }
   }
   entry_.reserve(net.width_in());
@@ -99,6 +104,63 @@ std::size_t CompiledNetwork::traverse_anti(std::size_t input_wire,
     at = route_[node.route_base + euclid_mod(landed, node.fanout)];
   }
   return static_cast<std::size_t>(~at);
+}
+
+void CompiledNetwork::traverse_batch(std::size_t input_wire, std::uint64_t k,
+                                     BalancerMode mode, std::uint64_t* stalls,
+                                     BatchScratch& scratch,
+                                     std::uint64_t* out_counts) noexcept {
+  if (k == 0) return;
+  const std::int32_t first = entry_[input_wire];
+  if (first < 0) {
+    out_counts[static_cast<std::size_t>(~first)] += k;
+    return;
+  }
+  auto& pending = scratch.pending_;
+  pending.assign(num_nodes_, 0);
+  pending[static_cast<std::size_t>(first)] = k;
+
+  // Node indices are topological, so a single forward sweep sees every
+  // balancer after all of its in-batch predecessors; it stops as soon as
+  // every token has reached an output wire.
+  std::uint64_t in_flight = k;
+  for (std::size_t b = static_cast<std::size_t>(first);
+       b < num_nodes_ && in_flight != 0; ++b) {
+    const std::uint64_t m = pending[b];
+    if (m == 0) continue;
+    Node& node = nodes_[b];
+    std::int64_t ticket;
+    if (mode == BalancerMode::kFetchAdd) {
+      ticket = node.state.fetch_add(static_cast<std::int64_t>(m),
+                                    std::memory_order_relaxed);
+    } else {
+      ticket = node.state.load(std::memory_order_relaxed);
+      while (!node.state.compare_exchange_weak(
+          ticket, ticket + static_cast<std::int64_t>(m),
+          std::memory_order_relaxed)) {
+        ++*stalls;
+      }
+    }
+    // Tickets ticket..ticket+m-1 land round-robin on the fanout wires:
+    // every wire gets m/f, and the m%f wires starting at ticket mod f
+    // (cyclically) get one more.
+    const std::uint32_t f = node.fanout;
+    const std::uint64_t per_wire = m / f;
+    const std::uint64_t extra = m % f;
+    const std::uint32_t start = euclid_mod(ticket, f);
+    for (std::uint32_t port = 0; port < f; ++port) {
+      const std::uint32_t offset = (port + f - start) % f;
+      const std::uint64_t count = per_wire + (offset < extra ? 1 : 0);
+      if (count == 0) continue;
+      const std::int32_t dest = route_[node.route_base + port];
+      if (dest < 0) {
+        out_counts[static_cast<std::size_t>(~dest)] += count;
+        in_flight -= count;
+      } else {
+        pending[static_cast<std::size_t>(dest)] += count;
+      }
+    }
+  }
 }
 
 void CompiledNetwork::reset() noexcept {

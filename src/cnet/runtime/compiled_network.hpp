@@ -23,6 +23,15 @@ enum class BalancerMode { kFetchAdd, kCasRetry };
 
 const char* balancer_mode_name(BalancerMode mode) noexcept;
 
+// Caller-owned scratch space for CompiledNetwork::traverse_batch. Reuse one
+// instance per thread across calls to avoid per-batch allocation; a single
+// instance must not be shared by concurrent callers.
+class BatchScratch {
+ private:
+  friend class CompiledNetwork;
+  std::vector<std::uint64_t> pending_;
+};
+
 class CompiledNetwork {
  public:
   explicit CompiledNetwork(const topo::Topology& net);
@@ -46,6 +55,23 @@ class CompiledNetwork {
   // implement Fetch&Decrement.
   std::size_t traverse_anti(std::size_t input_wire, BalancerMode mode,
                             std::uint64_t* stalls) noexcept;
+
+  // Shepherds `k` tokens from `input_wire` in one pass. Each visited
+  // balancer advances its state by a single fetch_add(m) — m being the
+  // number of batch tokens passing through it — and splits those m tokens
+  // round-robin across its fanout exactly as m successive traverse() calls
+  // would, so the result is equivalent to some legal interleaving of k
+  // individual tokens (the per-balancer RMW is atomic, hence each batch
+  // reads off a contiguous ticket block). On return, out_counts[i] has been
+  // incremented by the number of tokens that left on output wire i;
+  // out_counts must point at width_out() slots.
+  //
+  // Cuts atomic traffic from depth() RMWs per token to at most one RMW per
+  // balancer per *batch* — up to k× fewer under wide batches.
+  void traverse_batch(std::size_t input_wire, std::uint64_t k,
+                      BalancerMode mode, std::uint64_t* stalls,
+                      BatchScratch& scratch,
+                      std::uint64_t* out_counts) noexcept;
 
   // Resets all balancer states to 0 (only call while quiescent).
   void reset() noexcept;

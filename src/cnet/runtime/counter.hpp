@@ -5,6 +5,7 @@
 // can swap them freely.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -18,6 +19,19 @@ class Counter {
   // process (used to pick the entry wire, l mod w, per paper §1.2); callers
   // should pass a stable per-thread index.
   virtual std::int64_t fetch_increment(std::size_t thread_hint) = 0;
+
+  // Claims `k` counter values at once, writing them (in no particular
+  // order) to out_values[0..k). The values are exactly those that k
+  // back-to-back fetch_increment calls could have returned — no gaps, no
+  // duplicates across concurrent callers. The default loops over
+  // fetch_increment; batching backends override it to amortize the atomic
+  // traffic (one RMW per balancer per batch instead of per token).
+  virtual void fetch_increment_batch(std::size_t thread_hint, std::size_t k,
+                                     std::int64_t* out_values) {
+    for (std::size_t i = 0; i < k; ++i) {
+      out_values[i] = fetch_increment(thread_hint);
+    }
+  }
 
   virtual std::string name() const = 0;
 

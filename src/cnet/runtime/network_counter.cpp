@@ -18,14 +18,19 @@ NetworkCounter::NetworkCounter(const topo::Topology& net, std::string label,
   }
 }
 
+void NetworkCounter::add_stalls(std::size_t thread_hint,
+                                std::uint64_t stalls) {
+  if (stalls != 0) {
+    stalls_[thread_hint % kStallSlots].value.fetch_add(
+        stalls, std::memory_order_relaxed);
+  }
+}
+
 std::int64_t NetworkCounter::fetch_increment(std::size_t thread_hint) {
   std::uint64_t local_stalls = 0;
   const std::size_t out =
       net_.traverse(thread_hint % net_.width_in(), mode_, &local_stalls);
-  if (local_stalls != 0) {
-    stalls_[thread_hint % kStallSlots].value.fetch_add(
-        local_stalls, std::memory_order_relaxed);
-  }
+  add_stalls(thread_hint, local_stalls);
   // The exit cell assigns the value and advances by t (paper §1.1). One
   // atomic RMW makes the assignment linearizable per wire.
   return cells_[out].value.fetch_add(
@@ -37,10 +42,7 @@ std::int64_t NetworkCounter::fetch_decrement(std::size_t thread_hint) {
   std::uint64_t local_stalls = 0;
   const std::size_t out =
       net_.traverse_anti(thread_hint % net_.width_in(), mode_, &local_stalls);
-  if (local_stalls != 0) {
-    stalls_[thread_hint % kStallSlots].value.fetch_add(
-        local_stalls, std::memory_order_relaxed);
-  }
+  add_stalls(thread_hint, local_stalls);
   // Undo one cell step: the reclaimed value is the new cell content.
   return cells_[out].value.fetch_sub(
              static_cast<std::int64_t>(net_.width_out()),
@@ -54,6 +56,42 @@ std::uint64_t NetworkCounter::stall_count() const {
     total += slot.value.load(std::memory_order_relaxed);
   }
   return total;
+}
+
+void BatchedNetworkCounter::fetch_increment_batch(std::size_t thread_hint,
+                                                  std::size_t k,
+                                                  std::int64_t* out_values) {
+  if (k == 0) return;
+  if (k == 1) {
+    // The batch machinery costs Θ(balancers) in scratch resets per call;
+    // a lone token is cheaper on the per-token path.
+    out_values[0] = fetch_increment(thread_hint);
+    return;
+  }
+  // One scratch per thread, shared across instances: traverse_batch resizes
+  // it to the current network, and calls never nest.
+  static thread_local BatchScratch scratch;
+  static thread_local std::vector<std::uint64_t> wire_counts;
+  wire_counts.assign(net_.width_out(), 0);
+
+  std::uint64_t local_stalls = 0;
+  net_.traverse_batch(thread_hint % net_.width_in(),
+                      static_cast<std::uint64_t>(k), mode_, &local_stalls,
+                      scratch, wire_counts.data());
+  add_stalls(thread_hint, local_stalls);
+
+  const auto t = static_cast<std::int64_t>(net_.width_out());
+  std::size_t filled = 0;
+  for (std::size_t wire = 0; wire < wire_counts.size(); ++wire) {
+    const std::uint64_t count = wire_counts[wire];
+    if (count == 0) continue;
+    // One cell RMW claims the wire's whole contiguous block of values.
+    const std::int64_t base = cells_[wire].value.fetch_add(
+        static_cast<std::int64_t>(count) * t, std::memory_order_relaxed);
+    for (std::uint64_t j = 0; j < count; ++j) {
+      out_values[filled++] = base + static_cast<std::int64_t>(j) * t;
+    }
+  }
 }
 
 }  // namespace cnet::rt
