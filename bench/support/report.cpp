@@ -10,13 +10,15 @@ ReportOptions ReportOptions::parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--csv")) {
       opts.csv = true;
+    } else if (!std::strcmp(argv[i], "--smoke")) {
+      opts.smoke = true;
     } else if (!std::strcmp(argv[i], "--help") ||
                !std::strcmp(argv[i], "-h")) {
-      std::fprintf(stderr, "usage: %s [--csv]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--csv] [--smoke]\n", argv[0]);
       std::exit(0);
     } else if (argv[i][0] == '-') {
-      std::fprintf(stderr, "unknown flag '%s'\nusage: %s [--csv]\n", argv[i],
-                   argv[0]);
+      std::fprintf(stderr, "unknown flag '%s'\nusage: %s [--csv] [--smoke]\n",
+                   argv[i], argv[0]);
       std::exit(2);
     }
   }

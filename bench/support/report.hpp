@@ -15,6 +15,10 @@ namespace cnet::bench {
 // drivers take no other flags).
 struct ReportOptions {
   bool csv = false;
+  // CI bit-rot guard: drivers with timed LoadGen phases shrink to tiny
+  // iteration counts and thread sweeps (numbers become meaningless, but
+  // every code path still runs); table-only drivers ignore it.
+  bool smoke = false;
 
   static ReportOptions parse(int argc, char** argv);
 };

@@ -2,6 +2,62 @@
 
 namespace cnet::rt {
 
+namespace {
+
+// Shared bounded-decrement loop for the atomic central counters: move the
+// value back by one unless it is already zero. Failed CAS attempts count as
+// stalls, symmetrically with the increment path.
+bool bounded_decrement(std::atomic<std::int64_t>& value,
+                       std::int64_t* reclaimed, util::StallSlots& stalls,
+                       std::size_t thread_hint) {
+  std::int64_t cur = value.load(std::memory_order_relaxed);
+  std::uint64_t retries = 0;
+  while (cur > 0) {
+    if (value.compare_exchange_weak(cur, cur - 1,
+                                    std::memory_order_relaxed)) {
+      stalls.add(thread_hint, retries);
+      if (reclaimed != nullptr) *reclaimed = cur - 1;
+      return true;
+    }
+    ++retries;
+  }
+  stalls.add(thread_hint, retries);
+  return false;
+}
+
+// Bulk form: one CAS takes a whole block of min(n, value) values.
+std::uint64_t bounded_decrement_n(std::atomic<std::int64_t>& value,
+                                  std::uint64_t n, util::StallSlots& stalls,
+                                  std::size_t thread_hint) {
+  std::int64_t cur = value.load(std::memory_order_relaxed);
+  std::uint64_t retries = 0;
+  while (cur > 0) {
+    const auto m = std::min<std::uint64_t>(
+        n, static_cast<std::uint64_t>(cur));
+    if (value.compare_exchange_weak(cur,
+                                    cur - static_cast<std::int64_t>(m),
+                                    std::memory_order_relaxed)) {
+      stalls.add(thread_hint, retries);
+      return m;
+    }
+    ++retries;
+  }
+  stalls.add(thread_hint, retries);
+  return 0;
+}
+
+}  // namespace
+
+bool AtomicCounter::try_fetch_decrement(std::size_t thread_hint,
+                                        std::int64_t* reclaimed) {
+  return bounded_decrement(value_.value, reclaimed, stalls_, thread_hint);
+}
+
+std::uint64_t AtomicCounter::try_fetch_decrement_n(std::size_t thread_hint,
+                                                   std::uint64_t n) {
+  return bounded_decrement_n(value_.value, n, stalls_, thread_hint);
+}
+
 std::int64_t CasCounter::fetch_increment(std::size_t thread_hint) {
   std::int64_t cur = value_.value.load(std::memory_order_relaxed);
   std::uint64_t retries = 0;
@@ -9,19 +65,18 @@ std::int64_t CasCounter::fetch_increment(std::size_t thread_hint) {
                                              std::memory_order_relaxed)) {
     ++retries;
   }
-  if (retries != 0) {
-    stalls_[thread_hint % kStallSlots].value.fetch_add(
-        retries, std::memory_order_relaxed);
-  }
+  stalls_.add(thread_hint, retries);
   return cur;
 }
 
-std::uint64_t CasCounter::stall_count() const {
-  std::uint64_t total = 0;
-  for (const auto& slot : stalls_) {
-    total += slot.value.load(std::memory_order_relaxed);
-  }
-  return total;
+bool CasCounter::try_fetch_decrement(std::size_t thread_hint,
+                                     std::int64_t* reclaimed) {
+  return bounded_decrement(value_.value, reclaimed, stalls_, thread_hint);
+}
+
+std::uint64_t CasCounter::try_fetch_decrement_n(std::size_t thread_hint,
+                                                std::uint64_t n) {
+  return bounded_decrement_n(value_.value, n, stalls_, thread_hint);
 }
 
 }  // namespace cnet::rt

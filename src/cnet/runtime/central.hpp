@@ -2,11 +2,13 @@
 // counting networks are designed to outperform under contention (paper §1.1).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 
 #include "cnet/runtime/counter.hpp"
 #include "cnet/util/cacheline.hpp"
+#include "cnet/util/stall_slots.hpp"
 
 namespace cnet::rt {
 
@@ -17,10 +19,16 @@ class AtomicCounter final : public Counter {
   std::int64_t fetch_increment(std::size_t) override {
     return value_.value.fetch_add(1, std::memory_order_relaxed);
   }
+  bool try_fetch_decrement(std::size_t thread_hint,
+                           std::int64_t* reclaimed = nullptr) override;
+  std::uint64_t try_fetch_decrement_n(std::size_t thread_hint,
+                                      std::uint64_t n) override;
   std::string name() const override { return "central-atomic"; }
+  std::uint64_t stall_count() const override { return stalls_.total(); }
 
  private:
   util::Padded<std::atomic<std::int64_t>> value_{};
+  util::StallSlots stalls_;
 };
 
 // CAS-retry central counter: the canonical high-contention victim; retries
@@ -28,13 +36,16 @@ class AtomicCounter final : public Counter {
 class CasCounter final : public Counter {
  public:
   std::int64_t fetch_increment(std::size_t thread_hint) override;
+  bool try_fetch_decrement(std::size_t thread_hint,
+                           std::int64_t* reclaimed = nullptr) override;
+  std::uint64_t try_fetch_decrement_n(std::size_t thread_hint,
+                                      std::uint64_t n) override;
   std::string name() const override { return "central-cas"; }
-  std::uint64_t stall_count() const override;
+  std::uint64_t stall_count() const override { return stalls_.total(); }
 
  private:
-  static constexpr std::size_t kStallSlots = 64;
   util::Padded<std::atomic<std::int64_t>> value_{};
-  util::Padded<std::atomic<std::uint64_t>> stalls_[kStallSlots]{};
+  util::StallSlots stalls_;
 };
 
 // Lock-protected counter.
@@ -43,6 +54,22 @@ class MutexCounter final : public Counter {
   std::int64_t fetch_increment(std::size_t) override {
     const std::scoped_lock lock(mu_);
     return value_++;
+  }
+  bool try_fetch_decrement(std::size_t,
+                           std::int64_t* reclaimed = nullptr) override {
+    const std::scoped_lock lock(mu_);
+    if (value_ <= 0) return false;
+    --value_;
+    if (reclaimed != nullptr) *reclaimed = value_;
+    return true;
+  }
+  std::uint64_t try_fetch_decrement_n(std::size_t,
+                                      std::uint64_t n) override {
+    const std::scoped_lock lock(mu_);
+    const auto m = std::min<std::uint64_t>(
+        n, value_ > 0 ? static_cast<std::uint64_t>(value_) : 0);
+    value_ -= static_cast<std::int64_t>(m);
+    return m;
   }
   std::string name() const override { return "central-mutex"; }
 

@@ -33,6 +33,35 @@ class Counter {
     }
   }
 
+  // Tries to take back one outstanding value, so that a later
+  // fetch_increment hands it out again. On success returns true and, when
+  // `reclaimed` is non-null, stores the reclaimed value. Returns false when
+  // no value is observably available to take back — the counter then stays
+  // semantically unchanged (net handed-out count is preserved). Unlike
+  // NetworkCounter::fetch_decrement, callers need no external accounting:
+  // the implementation itself bounds the net outstanding count at zero.
+  //
+  // This is the primitive the svc layer's token buckets consume through:
+  // increments refill the pool, try-decrements drain it, and the bound at
+  // zero is what makes "never over-admit" a local property. The default
+  // says take-back is unsupported; backends that can bound the count
+  // (central counters, network counters) override it.
+  virtual bool try_fetch_decrement(std::size_t /*thread_hint*/,
+                                   std::int64_t* /*reclaimed*/ = nullptr) {
+    return false;
+  }
+
+  // Bulk form: takes back up to `n` outstanding values and returns how
+  // many were actually taken (0 when none are observably available). Same
+  // bound-at-zero guarantee as try_fetch_decrement; backends override to
+  // amortize (one CAS for a whole block instead of one per value).
+  virtual std::uint64_t try_fetch_decrement_n(std::size_t thread_hint,
+                                              std::uint64_t n) {
+    std::uint64_t got = 0;
+    while (got < n && try_fetch_decrement(thread_hint)) ++got;
+    return got;
+  }
+
   virtual std::string name() const = 0;
 
   // Total observed contention events (CAS retries / lock waits), if the

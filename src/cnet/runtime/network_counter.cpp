@@ -1,28 +1,18 @@
 #include "cnet/runtime/network_counter.hpp"
 
+#include <algorithm>
+
 #include "cnet/util/ensure.hpp"
 
 namespace cnet::rt {
 
-namespace {
-constexpr std::size_t kStallSlots = 64;
-}  // namespace
-
 NetworkCounter::NetworkCounter(const topo::Topology& net, std::string label,
                                BalancerMode mode)
     : net_(net), label_(std::move(label)), mode_(mode),
-      cells_(net.width_out()), stalls_(kStallSlots) {
+      cells_(net.width_out()), stalls_() {
   for (std::size_t i = 0; i < cells_.size(); ++i) {
     cells_[i].value.store(static_cast<std::int64_t>(i),
                           std::memory_order_relaxed);
-  }
-}
-
-void NetworkCounter::add_stalls(std::size_t thread_hint,
-                                std::uint64_t stalls) {
-  if (stalls != 0) {
-    stalls_[thread_hint % kStallSlots].value.fetch_add(
-        stalls, std::memory_order_relaxed);
   }
 }
 
@@ -30,7 +20,7 @@ std::int64_t NetworkCounter::fetch_increment(std::size_t thread_hint) {
   std::uint64_t local_stalls = 0;
   const std::size_t out =
       net_.traverse(thread_hint % net_.width_in(), mode_, &local_stalls);
-  add_stalls(thread_hint, local_stalls);
+  stalls_.add(thread_hint, local_stalls);
   // The exit cell assigns the value and advances by t (paper §1.1). One
   // atomic RMW makes the assignment linearizable per wire.
   return cells_[out].value.fetch_add(
@@ -42,7 +32,7 @@ std::int64_t NetworkCounter::fetch_decrement(std::size_t thread_hint) {
   std::uint64_t local_stalls = 0;
   const std::size_t out =
       net_.traverse_anti(thread_hint % net_.width_in(), mode_, &local_stalls);
-  add_stalls(thread_hint, local_stalls);
+  stalls_.add(thread_hint, local_stalls);
   // Undo one cell step: the reclaimed value is the new cell content.
   return cells_[out].value.fetch_sub(
              static_cast<std::int64_t>(net_.width_out()),
@@ -50,12 +40,90 @@ std::int64_t NetworkCounter::fetch_decrement(std::size_t thread_hint) {
          static_cast<std::int64_t>(net_.width_out());
 }
 
-std::uint64_t NetworkCounter::stall_count() const {
-  std::uint64_t total = 0;
-  for (const auto& slot : stalls_) {
-    total += slot.value.load(std::memory_order_relaxed);
+bool NetworkCounter::try_claim_cell(std::size_t wire, std::size_t thread_hint,
+                                    std::int64_t* reclaimed) {
+  // Bounded cell claim: wire `wire` starts at value `wire` and holds one
+  // unreclaimed handed-out value per step of t above that floor. Only step
+  // back while the wire is net-positive, so globally the number of
+  // successful try-decrements can never exceed the number of increments at
+  // any moment — each success is backed by a specific increment's cell
+  // step on the same wire.
+  const auto t = static_cast<std::int64_t>(net_.width_out());
+  const auto floor = static_cast<std::int64_t>(wire);
+  std::int64_t cur = cells_[wire].value.load(std::memory_order_relaxed);
+  std::uint64_t retries = 0;
+  while (cur >= floor + t) {
+    if (cells_[wire].value.compare_exchange_weak(cur, cur - t,
+                                                 std::memory_order_relaxed)) {
+      stalls_.add(thread_hint, retries);
+      if (reclaimed != nullptr) *reclaimed = cur - t;
+      return true;
+    }
+    ++retries;
   }
-  return total;
+  stalls_.add(thread_hint, retries);
+  return false;
+}
+
+bool NetworkCounter::try_fetch_decrement(std::size_t thread_hint,
+                                         std::int64_t* reclaimed) {
+  std::uint64_t local_stalls = 0;
+  const std::size_t out =
+      net_.traverse_anti(thread_hint % net_.width_in(), mode_, &local_stalls);
+  stalls_.add(thread_hint, local_stalls);
+  // Fast path: the antitoken's own exit wire — under balanced traffic this
+  // is exactly where the most recent token's value sits.
+  if (try_claim_cell(out, thread_hint, reclaimed)) return true;
+  // The exit wire is drained but tokens may sit on other wires (phantom
+  // antitokens from earlier failures shift the routing). One round-robin
+  // sweep over the remaining cells keeps the op lossless: it can only miss
+  // when every cell is at its floor during the pass, i.e. the pool is
+  // genuinely empty (or being emptied concurrently). The sweep is the
+  // O(t) miss path; successful consumes stay on the traversal fast path.
+  for (std::size_t i = 1; i < cells_.size(); ++i) {
+    const std::size_t wire = (out + i) % cells_.size();
+    if (try_claim_cell(wire, thread_hint, reclaimed)) return true;
+  }
+  return false;
+}
+
+std::uint64_t NetworkCounter::try_claim_cell_n(std::size_t wire,
+                                               std::size_t thread_hint,
+                                               std::uint64_t n) {
+  // Block form of try_claim_cell: one CAS steps the cell back by
+  // min(n, surplus) values while preserving the floor bound.
+  const auto t = static_cast<std::int64_t>(net_.width_out());
+  const auto floor = static_cast<std::int64_t>(wire);
+  std::int64_t cur = cells_[wire].value.load(std::memory_order_relaxed);
+  std::uint64_t retries = 0;
+  while (cur >= floor + t) {
+    const auto surplus = static_cast<std::uint64_t>((cur - floor) / t);
+    const auto m = std::min<std::uint64_t>(n, surplus);
+    if (cells_[wire].value.compare_exchange_weak(
+            cur, cur - static_cast<std::int64_t>(m) * t,
+            std::memory_order_relaxed)) {
+      stalls_.add(thread_hint, retries);
+      return m;
+    }
+    ++retries;
+  }
+  stalls_.add(thread_hint, retries);
+  return 0;
+}
+
+std::uint64_t NetworkCounter::try_fetch_decrement_n(std::size_t thread_hint,
+                                                    std::uint64_t n) {
+  if (n == 0) return 0;
+  std::uint64_t local_stalls = 0;
+  const std::size_t out =
+      net_.traverse_anti(thread_hint % net_.width_in(), mode_, &local_stalls);
+  stalls_.add(thread_hint, local_stalls);
+  std::uint64_t got = 0;
+  for (std::size_t i = 0; i < cells_.size() && got < n; ++i) {
+    const std::size_t wire = (out + i) % cells_.size();
+    got += try_claim_cell_n(wire, thread_hint, n - got);
+  }
+  return got;
 }
 
 void BatchedNetworkCounter::fetch_increment_batch(std::size_t thread_hint,
@@ -78,7 +146,7 @@ void BatchedNetworkCounter::fetch_increment_batch(std::size_t thread_hint,
   net_.traverse_batch(thread_hint % net_.width_in(),
                       static_cast<std::uint64_t>(k), mode_, &local_stalls,
                       scratch, wire_counts.data());
-  add_stalls(thread_hint, local_stalls);
+  stalls_.add(thread_hint, local_stalls);
 
   const auto t = static_cast<std::int64_t>(net_.width_out());
   std::size_t filled = 0;

@@ -13,6 +13,7 @@
 #include "cnet/runtime/compiled_network.hpp"
 #include "cnet/runtime/counter.hpp"
 #include "cnet/util/cacheline.hpp"
+#include "cnet/util/stall_slots.hpp"
 
 namespace cnet::rt {
 
@@ -31,8 +32,33 @@ class NetworkCounter : public Counter {
   // like a semaphore.
   std::int64_t fetch_decrement(std::size_t thread_hint);
 
+  // Bounded Fetch&Decrement: an antitoken traversal whose exit-cell claim
+  // only succeeds while that wire has a net-positive handed-out count, so
+  // the total of successful try-decrements can never exceed the total of
+  // increments — no external semaphore discipline needed. When the exit
+  // wire is drained the op falls back to one bounded round-robin sweep of
+  // the other exit cells, so it only reports empty when every cell sat at
+  // its floor during the pass (the pool is genuinely empty, or concurrent
+  // consumers are emptying it). On failure the antitoken stays absorbed in
+  // the balancer states and the next token through cancels it (paper
+  // §1.4.2 token/antitoken duality): counts stay conserved and no value is
+  // duplicated, but the quiescent outstanding set is no longer guaranteed
+  // to be the exact prefix {0..c-1}. Use fetch_decrement when values are
+  // identities (IDs); use this when they are pool tokens
+  // (svc::NetTokenBucket).
+  bool try_fetch_decrement(std::size_t thread_hint,
+                           std::int64_t* reclaimed = nullptr) override;
+
+  // Bulk form: one antitoken traversal, then block claims — each cell CAS
+  // takes min(still needed, that wire's surplus) values at once, sweeping
+  // wires from the traversal's exit. Same per-cell floor bound, so the
+  // never-exceeds-increments guarantee is unchanged; cost drops from one
+  // traversal per value to one traversal per call.
+  std::uint64_t try_fetch_decrement_n(std::size_t thread_hint,
+                                      std::uint64_t n) override;
+
   std::string name() const override { return label_; }
-  std::uint64_t stall_count() const override;
+  std::uint64_t stall_count() const override { return stalls_.total(); }
 
   std::size_t width_in() const noexcept { return net_.width_in(); }
   std::size_t width_out() const noexcept { return net_.width_out(); }
@@ -44,10 +70,13 @@ class NetworkCounter : public Counter {
   std::string label_;
   BalancerMode mode_;
   std::vector<util::Padded<std::atomic<std::int64_t>>> cells_;
-  // Per-slot padded stall counters, indexed by thread hint modulo slots.
-  std::vector<util::Padded<std::atomic<std::uint64_t>>> stalls_;
+  util::StallSlots stalls_;
 
-  void add_stalls(std::size_t thread_hint, std::uint64_t stalls);
+ private:
+  bool try_claim_cell(std::size_t wire, std::size_t thread_hint,
+                      std::int64_t* reclaimed);
+  std::uint64_t try_claim_cell_n(std::size_t wire, std::size_t thread_hint,
+                                 std::uint64_t n);
 };
 
 // A NetworkCounter whose fetch_increment_batch shepherds all k tokens

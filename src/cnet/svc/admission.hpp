@@ -1,0 +1,56 @@
+// The service-layer facade: one header wiring the token-bucket rate
+// limiter and the sharded ID allocator behind a single admission call, the
+// shape a front-end request path actually wants — "may this request run,
+// and if so, under which globally-unique request ID?". Both components
+// share one Counter backend kind chosen by AdmissionConfig, so swapping a
+// whole deployment between central and counting-network admission is a
+// one-field change.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cnet/svc/backend.hpp"
+#include "cnet/svc/net_token_bucket.hpp"
+#include "cnet/svc/sharded_id_allocator.hpp"
+
+namespace cnet::svc {
+
+struct AdmissionConfig {
+  BackendKind backend = BackendKind::kBatchedNetwork;
+  BackendConfig net;  // network shape for the network-backed kinds
+  std::size_t shards = 4;
+  ShardedIdAllocator::Config ids;
+  NetTokenBucket::Config bucket;
+};
+
+class AdmissionController {
+ public:
+  struct Ticket {
+    bool admitted = false;
+    std::int64_t request_id = -1;  // valid iff admitted
+  };
+
+  explicit AdmissionController(const AdmissionConfig& cfg);
+
+  // Charges `cost` tokens all-or-nothing; on admission tags the request
+  // with a unique ID from the sharded allocator.
+  Ticket admit(std::size_t thread_hint, std::uint64_t cost = 1);
+
+  void refill(std::size_t thread_hint, std::uint64_t tokens) {
+    bucket_.refill(thread_hint, tokens);
+  }
+
+  NetTokenBucket& bucket() noexcept { return bucket_; }
+  ShardedIdAllocator& ids() noexcept { return ids_; }
+  std::uint64_t stall_count() const {
+    return bucket_.stall_count() + ids_.stall_count();
+  }
+  std::string name() const;
+
+ private:
+  NetTokenBucket bucket_;
+  ShardedIdAllocator ids_;
+};
+
+}  // namespace cnet::svc

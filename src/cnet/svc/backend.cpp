@@ -1,0 +1,54 @@
+#include "cnet/svc/backend.hpp"
+
+#include <string>
+
+#include "cnet/core/counting.hpp"
+#include "cnet/runtime/central.hpp"
+#include "cnet/runtime/network_counter.hpp"
+
+namespace cnet::svc {
+
+const char* backend_kind_name(BackendKind kind) noexcept {
+  switch (kind) {
+    case BackendKind::kCentralAtomic: return "central-atomic";
+    case BackendKind::kCentralCas: return "central-cas";
+    case BackendKind::kCentralMutex: return "central-mutex";
+    case BackendKind::kNetwork: return "network";
+    case BackendKind::kBatchedNetwork: return "batched-network";
+  }
+  return "?";
+}
+
+std::optional<BackendKind> parse_backend_kind(std::string_view name) noexcept {
+  for (const BackendKind kind : kAllBackendKinds) {
+    if (name == backend_kind_name(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<rt::Counter> make_counter(BackendKind kind,
+                                          const BackendConfig& cfg) {
+  const auto label = [&cfg](const char* prefix) {
+    return std::string(prefix) + "C(" + std::to_string(cfg.width_in) + "," +
+           std::to_string(cfg.width_out) + ")";
+  };
+  switch (kind) {
+    case BackendKind::kCentralAtomic:
+      return std::make_unique<rt::AtomicCounter>();
+    case BackendKind::kCentralCas:
+      return std::make_unique<rt::CasCounter>();
+    case BackendKind::kCentralMutex:
+      return std::make_unique<rt::MutexCounter>();
+    case BackendKind::kNetwork:
+      return std::make_unique<rt::NetworkCounter>(
+          core::make_counting(cfg.width_in, cfg.width_out), label(""),
+          cfg.mode);
+    case BackendKind::kBatchedNetwork:
+      return std::make_unique<rt::BatchedNetworkCounter>(
+          core::make_counting(cfg.width_in, cfg.width_out),
+          label("batched "), cfg.mode);
+  }
+  return nullptr;
+}
+
+}  // namespace cnet::svc

@@ -1,0 +1,45 @@
+// Counter-backend selection for the service layer: one factory that every
+// svc consumer, bench driver, and property test goes through, so "compare
+// central vs. network vs. batched" is a loop over BackendKind instead of
+// five hand-rolled constructions.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "cnet/runtime/compiled_network.hpp"
+#include "cnet/runtime/counter.hpp"
+
+namespace cnet::svc {
+
+enum class BackendKind {
+  kCentralAtomic,   // fetch_add on one cache line
+  kCentralCas,      // CAS-retry on one cache line
+  kCentralMutex,    // lock-protected
+  kNetwork,         // NetworkCounter on C(w,t), per-token traversal
+  kBatchedNetwork,  // BatchedNetworkCounter on C(w,t), amortized batches
+};
+
+// All kinds, in display order — the iteration axis for tests and benches.
+inline constexpr BackendKind kAllBackendKinds[] = {
+    BackendKind::kCentralAtomic, BackendKind::kCentralCas,
+    BackendKind::kCentralMutex, BackendKind::kNetwork,
+    BackendKind::kBatchedNetwork,
+};
+
+// Shape of the counting network behind the network-backed kinds; ignored by
+// the central ones. Defaults to the repo's workhorse C(8,24) = C(w, w·lg w).
+struct BackendConfig {
+  std::size_t width_in = 8;
+  std::size_t width_out = 24;
+  rt::BalancerMode mode = rt::BalancerMode::kFetchAdd;
+};
+
+const char* backend_kind_name(BackendKind kind) noexcept;
+std::optional<BackendKind> parse_backend_kind(std::string_view name) noexcept;
+
+std::unique_ptr<rt::Counter> make_counter(BackendKind kind,
+                                          const BackendConfig& cfg = {});
+
+}  // namespace cnet::svc

@@ -1,0 +1,59 @@
+#include "cnet/svc/net_token_bucket.hpp"
+
+#include <algorithm>
+
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::svc {
+
+namespace {
+constexpr std::size_t kRefillChunkCap = 256;
+}  // namespace
+
+NetTokenBucket::NetTokenBucket(std::unique_ptr<rt::Counter> pool)
+    : NetTokenBucket(std::move(pool), Config()) {}
+
+NetTokenBucket::NetTokenBucket(std::unique_ptr<rt::Counter> pool, Config cfg)
+    : pool_(std::move(pool)), cfg_(cfg) {
+  CNET_REQUIRE(pool_ != nullptr, "null pool counter");
+  CNET_REQUIRE(cfg_.refill_chunk > 0 && cfg_.refill_chunk <= kRefillChunkCap,
+               "refill_chunk must be in 1..256");
+  if (cfg_.initial_tokens > 0) refill(0, cfg_.initial_tokens);
+}
+
+std::uint64_t NetTokenBucket::consume(std::size_t thread_hint,
+                                      std::uint64_t tokens,
+                                      bool allow_partial) {
+  std::uint64_t got = 0;
+  while (got < tokens) {
+    // Bulk claims: central backends take the whole remainder in one CAS,
+    // network backends in one antitoken traversal + block cell claims. A
+    // zero return is conclusive — the pool was observably empty — so no
+    // retry loop is needed.
+    const std::uint64_t grabbed =
+        pool_->try_fetch_decrement_n(thread_hint, tokens - got);
+    if (grabbed == 0) break;
+    got += grabbed;
+  }
+  if (!allow_partial && got < tokens && got > 0) {
+    // All-or-nothing shortfall: the partial grab goes back as a refill
+    // (token/antitoken duality makes un-consume the same op as refill).
+    refill(thread_hint, got);
+    got = 0;
+  }
+  return got;
+}
+
+void NetTokenBucket::refill(std::size_t thread_hint, std::uint64_t tokens) {
+  // The claimed values are discarded: a pool token has no identity, only
+  // the net count matters.
+  std::int64_t scratch[kRefillChunkCap];
+  while (tokens > 0) {
+    const auto k = static_cast<std::size_t>(
+        std::min<std::uint64_t>(tokens, cfg_.refill_chunk));
+    pool_->fetch_increment_batch(thread_hint, k, scratch);
+    tokens -= k;
+  }
+}
+
+}  // namespace cnet::svc

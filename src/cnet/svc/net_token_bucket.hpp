@@ -1,0 +1,63 @@
+// An envoy-style token-bucket rate limiter (consume(k, allow_partial), cf.
+// envoy/common/token_bucket.h) whose token pool is a shared counter:
+// increments refill the pool, bounded antitoken decrements consume it. With
+// a counting-network backend the admission decisions spread across the
+// network's wires and exit cells instead of serializing on one atomic, and
+// refills ride the batched traversal path.
+//
+// The never-over-admit guarantee is local to the backend: Counter::
+// try_fetch_decrement only succeeds against a specific prior increment
+// (central backends bound one value at zero; network backends bound each
+// exit cell at its floor, sweeping the other cells when the antitoken's
+// exit wire is drained), so at every moment the number of tokens handed
+// out by consume() is at most the number pushed in by refill(), and a
+// failed consume means the pool was observably empty.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cnet/runtime/counter.hpp"
+
+namespace cnet::svc {
+
+class NetTokenBucket {
+ public:
+  struct Config {
+    std::uint64_t initial_tokens = 0;
+    // Tokens pushed per backend batch call during refill (1..256).
+    std::size_t refill_chunk = 64;
+  };
+
+  // Takes ownership of the pool counter. The backend must support
+  // try_fetch_decrement (central and network counters do); on one that
+  // does not, consume() always reports an empty pool.
+  NetTokenBucket(std::unique_ptr<rt::Counter> pool, Config cfg);
+  explicit NetTokenBucket(std::unique_ptr<rt::Counter> pool);
+
+  // Takes up to `tokens` from the pool and returns how many were actually
+  // consumed. With allow_partial, a short pool yields a partial grab
+  // (possibly 0); without, the call is all-or-nothing — on shortfall the
+  // partial grab is returned to the pool and 0 is reported. A failed
+  // single-token consume means the pool was observably empty; multi-token
+  // all-or-nothing grabs are not atomic (grab then refund), so concurrent
+  // callers racing for the last tokens can mutually false-reject even
+  // when the pool briefly held enough for one of them.
+  std::uint64_t consume(std::size_t thread_hint, std::uint64_t tokens,
+                        bool allow_partial);
+
+  // Adds `tokens` to the pool via the backend's batched increment path.
+  void refill(std::size_t thread_hint, std::uint64_t tokens);
+
+  std::uint64_t stall_count() const { return pool_->stall_count(); }
+  std::string name() const { return "bucket·" + pool_->name(); }
+  rt::Counter& pool() noexcept { return *pool_; }
+  const rt::Counter& pool() const noexcept { return *pool_; }
+
+ private:
+  std::unique_ptr<rt::Counter> pool_;
+  Config cfg_;
+};
+
+}  // namespace cnet::svc

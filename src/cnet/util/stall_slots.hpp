@@ -1,0 +1,44 @@
+// Padded per-slot stall tallies, shared by every counter backend that
+// reports contention (CAS retries / lock waits). Threads scatter their
+// updates across `slots` cache-line-padded atomics keyed by thread hint, so
+// recording a stall never becomes a contention point itself; reads sum the
+// slots and are expected to be rare (end-of-run reporting).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "cnet/util/cacheline.hpp"
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::util {
+
+class StallSlots {
+ public:
+  static constexpr std::size_t kDefaultSlots = 64;
+
+  explicit StallSlots(std::size_t slots = kDefaultSlots) : slots_(slots) {
+    CNET_REQUIRE(slots > 0, "at least one stall slot");
+  }
+
+  void add(std::size_t thread_hint, std::uint64_t stalls) noexcept {
+    if (stalls != 0) {
+      slots_[thread_hint % slots_.size()].value.fetch_add(
+          stalls, std::memory_order_relaxed);
+    }
+  }
+
+  std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& slot : slots_) {
+      sum += slot.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  std::vector<Padded<std::atomic<std::uint64_t>>> slots_;
+};
+
+}  // namespace cnet::util

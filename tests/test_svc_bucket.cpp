@@ -1,0 +1,167 @@
+// svc::NetTokenBucket: envoy-style consume semantics (partial vs.
+// all-or-nothing), and the core rate-limiter safety property — the bucket
+// never over-admits: at every observation point, tokens handed out by
+// consume() never exceed tokens pushed in by refill(), for every counter
+// backend kind, under concurrent refillers and consumers.
+#include "cnet/svc/net_token_bucket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "cnet/svc/backend.hpp"
+#include "test_svc_util.hpp"
+
+namespace cnet::svc {
+namespace {
+
+NetTokenBucket make_bucket(BackendKind kind, NetTokenBucket::Config cfg) {
+  return NetTokenBucket(make_counter(kind), cfg);
+}
+
+// Empties the bucket from a quiescent state and returns the token count.
+std::uint64_t drain(NetTokenBucket& bucket) {
+  std::uint64_t total = 0;
+  while (bucket.consume(0, 1, /*allow_partial=*/true) == 1) ++total;
+  return total;
+}
+
+class BucketBackends : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(BucketBackends, SequentialConsumeSemantics) {
+  auto bucket = make_bucket(GetParam(), {.initial_tokens = 10});
+  // All-or-nothing: a request larger than the pool consumes nothing.
+  EXPECT_EQ(bucket.consume(0, 3, false), 3u);
+  EXPECT_EQ(bucket.consume(1, 20, false), 0u);
+  EXPECT_EQ(bucket.consume(2, 7, false), 7u);  // the 20 left the pool intact
+  EXPECT_EQ(bucket.consume(3, 1, true), 0u);   // empty
+  // Partial: a short pool yields what it has.
+  bucket.refill(0, 5);
+  EXPECT_EQ(bucket.consume(4, 3, true), 3u);
+  EXPECT_EQ(bucket.consume(5, 9, true), 2u);
+  EXPECT_EQ(drain(bucket), 0u);
+}
+
+TEST_P(BucketBackends, NeverOverAdmitsUnderConcurrency) {
+  auto bucket = make_bucket(GetParam(), {});
+  constexpr std::size_t kConsumers = 5;
+  constexpr std::uint64_t kRefillRounds = 400, kTokensPerRound = 16;
+  // `refilled` is published BEFORE tokens enter the pool and `admitted`
+  // AFTER consume returns, so admitted <= refilled is exact at every
+  // sampling point, not just at quiescence.
+  std::atomic<std::uint64_t> refilled{0}, admitted{0};
+  std::atomic<bool> stop{false}, over_admitted{false};
+  std::vector<std::uint64_t> per_thread(kConsumers, 0);
+  {
+    std::vector<std::jthread> threads;
+    threads.emplace_back([&] {  // refiller (hint 0)
+      for (std::uint64_t r = 0; r < kRefillRounds; ++r) {
+        refilled.fetch_add(kTokensPerRound);
+        bucket.refill(0, kTokensPerRound);
+      }
+      stop.store(true);
+    });
+    for (std::size_t t = 0; t < kConsumers; ++t) {
+      threads.emplace_back([&, t] {  // consumers (hints 1..)
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::uint64_t want = 1 + (per_thread[t] % 4);
+          const std::uint64_t got =
+              bucket.consume(t + 1, want, (t % 2 == 0));
+          if (got != 0) {
+            admitted.fetch_add(got);
+            per_thread[t] += got;
+          }
+        }
+      });
+    }
+    threads.emplace_back([&] {  // observer
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t a = admitted.load();
+        // The pool's own RMWs are relaxed, so the refiller's `refilled`
+        // update has no happens-before edge to a consumer's `admitted`
+        // update; on weakly-ordered hardware `refilled` can lag a just-
+        // observed `admitted` transiently. `refilled` is monotonic, so a
+        // real over-admission persists: confirm before flagging.
+        bool violated = a > refilled.load();
+        for (int retry = 0; violated && retry < 1000; ++retry) {
+          std::this_thread::yield();
+          violated = a > refilled.load();
+        }
+        if (violated) {
+          over_admitted.store(true);
+          return;
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+  EXPECT_FALSE(over_admitted.load()) << "bucket over-admitted mid-run";
+  const std::uint64_t leftover = drain(bucket);
+  EXPECT_LE(admitted.load(), refilled.load());
+  // Conservation at quiescence: every refilled token was either admitted
+  // or still in the pool.
+  EXPECT_EQ(admitted.load() + leftover, refilled.load());
+}
+
+TEST_P(BucketBackends, AllOrNothingGrabsAreMultiplesOfCost) {
+  auto bucket = make_bucket(GetParam(), {.initial_tokens = 1000});
+  constexpr std::uint64_t kCost = 3;
+  std::vector<std::uint64_t> grabs(4, 0);
+  {
+    std::vector<std::jthread> threads;
+    for (std::size_t t = 0; t < grabs.size(); ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < 200; ++i) {
+          const std::uint64_t got = bucket.consume(t, kCost, false);
+          EXPECT_TRUE(got == 0 || got == kCost);
+          grabs[t] += got;
+        }
+      });
+    }
+  }
+  std::uint64_t total = 0;
+  for (const auto g : grabs) total += g;
+  EXPECT_EQ(total % kCost, 0u);
+  EXPECT_EQ(total + drain(bucket), 1000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BucketBackends,
+                         ::testing::ValuesIn(kAllBackendKinds),
+                         test::backend_param_name);
+
+// A backend without take-back support: consume must degrade to "always
+// empty" rather than over-admit.
+class NoTakebackCounter final : public rt::Counter {
+ public:
+  std::int64_t fetch_increment(std::size_t) override { return next_++; }
+  std::string name() const override { return "no-takeback"; }
+
+ private:
+  std::int64_t next_ = 0;
+};
+
+TEST(NetTokenBucket, BackendWithoutTakebackNeverAdmits) {
+  NetTokenBucket bucket(std::make_unique<NoTakebackCounter>(),
+                        {.initial_tokens = 50});
+  EXPECT_EQ(bucket.consume(0, 1, true), 0u);
+  EXPECT_EQ(bucket.consume(1, 5, false), 0u);
+}
+
+TEST(NetTokenBucket, RejectsBadConfiguration) {
+  EXPECT_THROW(NetTokenBucket(nullptr), std::invalid_argument);
+  EXPECT_THROW(make_bucket(BackendKind::kCentralAtomic, {.refill_chunk = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      make_bucket(BackendKind::kCentralAtomic, {.refill_chunk = 10000}),
+      std::invalid_argument);
+}
+
+TEST(NetTokenBucket, NameReflectsThePoolBackend) {
+  auto bucket = make_bucket(BackendKind::kNetwork, {});
+  EXPECT_EQ(bucket.name(), "bucket·C(8,24)");
+}
+
+}  // namespace
+}  // namespace cnet::svc

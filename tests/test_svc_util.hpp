@@ -1,0 +1,24 @@
+// Helpers for the backend-parameterized svc test suites. Kept out of
+// test_util.hpp so the core-layer tests don't pick up a dependency on the
+// svc headers.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "cnet/svc/backend.hpp"
+
+namespace cnet::test {
+
+// gtest-safe suffix ("central_atomic", ...) for suites parameterized over
+// every counter backend kind.
+inline std::string backend_param_name(
+    const ::testing::TestParamInfo<svc::BackendKind>& pinfo) {
+  std::string name = svc::backend_kind_name(pinfo.param);
+  std::replace(name.begin(), name.end(), '-', '_');
+  return name;
+}
+
+}  // namespace cnet::test
