@@ -100,5 +100,5 @@ int main(int argc, char** argv) {
         "\nexpected shape: Nc dominates at t=w and collapses as t grows;\n"
         "Na/Nb stay roughly constant (paper §1.3.2).", opts);
   }
-  return 0;
+  return cnet::bench::finish(opts);
 }

@@ -91,5 +91,5 @@ int main(int argc, char** argv) {
   dump("Fig.14", "E_8", core::make_backward_butterfly(8), table);
   bench::emit(table, opts);
   std::puts("\n(.dot files written next to the binary; render with graphviz)");
-  return 0;
+  return cnet::bench::finish(opts);
 }

@@ -74,5 +74,5 @@ int main(int argc, char** argv) {
         "as t grows (more layers for tokens to collide in), while the\n"
         "paper's construction improves with t.", opts);
   }
-  return 0;
+  return cnet::bench::finish(opts);
 }

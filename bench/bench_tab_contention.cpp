@@ -105,5 +105,5 @@ int main(int argc, char** argv) {
         "\nexpected shape: the ratio grows with w roughly like lg w\n"
         "(paper §1.3.1: O(n lg^2 w / w) vs O(n lg w / w)).", opts);
   }
-  return 0;
+  return cnet::bench::finish(opts);
 }

@@ -67,5 +67,5 @@ int main(int argc, char** argv) {
       " * depth(C(w,t)) independent of t and equal to the bitonic depth;\n"
       " * periodic depth lg^2 w (worse for every w >= 4);\n"
       " * every constructed network satisfies the step property.", opts);
-  return 0;
+  return cnet::bench::finish(opts);
 }

@@ -65,5 +65,5 @@ int main(int argc, char** argv) {
       "\npaper claims reproduced: depth(M(t,δ)) = lg δ independent of t;\n"
       "inside C(w,t) (δ = w/2 << t) the saving is what keeps total depth\n"
       "a function of w only (§1.3.2).", opts);
-  return 0;
+  return cnet::bench::finish(opts);
 }

@@ -117,5 +117,5 @@ int main(int argc, char** argv) {
         "smoothness small (O(lg w)-ish in the worst observed case), in line\n"
         "with the randomized-smoothing literature cited in §7.", opts);
   }
-  return 0;
+  return cnet::bench::finish(opts);
 }

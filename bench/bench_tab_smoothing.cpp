@@ -75,5 +75,5 @@ int main(int argc, char** argv) {
         "\nexpected shape: measured smoothness never exceeds the bound, and\n"
         "widening t tightens the prefix output (s shrinks to 2).", opts);
   }
-  return 0;
+  return cnet::bench::finish(opts);
 }

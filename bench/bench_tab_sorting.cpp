@@ -137,5 +137,5 @@ int main(int argc, char** argv) {
       "comparators; std::sort wins at scale (O(w lg w) adaptive), the\n"
       "schedules win on predictability and parallel depth.",
       opts);
-  return 0;
+  return cnet::bench::finish(opts);
 }

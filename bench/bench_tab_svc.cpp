@@ -181,5 +181,5 @@ int main(int argc, char** argv) {
         "\nexpected shape: admit = bucket charge + cached ID allocation,\n"
         "so rates track Table B with a small constant overhead.", opts);
   }
-  return 0;
+  return bench::finish(opts);
 }

@@ -169,5 +169,7 @@ int main(int argc, char** argv) {
               batched_at8 / per_token_at8,
               batched_at8 >= 2.0 * per_token_at8 ? "(>= 2x target met)"
                                                  : "(below 2x target)");
-  return batched_at8 >= 2.0 * per_token_at8 ? 0 : 1;
+  bench::check("batched >= 2x per-token at n=8",
+               batched_at8 >= 2.0 * per_token_at8, opts);
+  return bench::finish(opts);
 }

@@ -106,5 +106,5 @@ int main(int argc, char** argv) {
       "scale with n; at n >> w, C(16,64) sustains the best network\n"
       "throughput and the lowest latency growth; periodic trails (depth\n"
       "lg^2 w); the diffracting tree caps at its root's service rate.", opts);
-  return 0;
+  return cnet::bench::finish(opts);
 }

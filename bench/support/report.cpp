@@ -2,23 +2,110 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <utility>
+#include <vector>
 
 namespace cnet::bench {
 
+namespace {
+
+// Accumulated state for the JSON sink. Bench drivers are single-threaded
+// main() programs, so plain statics are fine here.
+struct JsonState {
+  std::string current_section;
+  struct CapturedTable {
+    std::string section;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+  };
+  std::vector<CapturedTable> tables;
+  std::vector<std::pair<std::string, bool>> checks;
+};
+
+JsonState& json_state() {
+  static JsonState state;
+  return state;
+}
+
+// Minimal RFC-8259 string escaping; our cell content is numeric-ish but
+// section titles carry commas, quotes would corrupt the file silently.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_json(std::ostream& os) {
+  const auto& state = json_state();
+  os << "{\n  \"tables\": [";
+  for (std::size_t t = 0; t < state.tables.size(); ++t) {
+    const auto& table = state.tables[t];
+    os << (t == 0 ? "\n" : ",\n");
+    os << "    {\"section\": \"" << json_escape(table.section)
+       << "\", \"rows\": [";
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+      os << (r == 0 ? "\n" : ",\n") << "      {";
+      for (std::size_t c = 0; c < table.headers.size(); ++c) {
+        if (c > 0) os << ", ";
+        os << '"' << json_escape(table.headers[c]) << "\": \""
+           << json_escape(table.rows[r][c]) << '"';
+      }
+      os << '}';
+    }
+    os << "\n    ]}";
+  }
+  os << "\n  ],\n  \"checks\": {";
+  for (std::size_t i = 0; i < state.checks.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \""
+       << json_escape(state.checks[i].first)
+       << "\": " << (state.checks[i].second ? "true" : "false");
+  }
+  os << "\n  }\n}\n";
+}
+
+}  // namespace
+
 ReportOptions ReportOptions::parse(int argc, char** argv) {
   ReportOptions opts;
+  const auto usage = [argv](std::FILE* out) {
+    std::fprintf(out, "usage: %s [--csv] [--smoke] [--json FILE]\n", argv[0]);
+  };
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--csv")) {
       opts.csv = true;
     } else if (!std::strcmp(argv[i], "--smoke")) {
       opts.smoke = true;
+    } else if (!std::strcmp(argv[i], "--json")) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json needs a file path\n");
+        usage(stderr);
+        std::exit(2);
+      }
+      opts.json_path = argv[++i];
     } else if (!std::strcmp(argv[i], "--help") ||
                !std::strcmp(argv[i], "-h")) {
-      std::fprintf(stderr, "usage: %s [--csv] [--smoke]\n", argv[0]);
+      usage(stderr);
       std::exit(0);
-    } else if (argv[i][0] == '-') {
-      std::fprintf(stderr, "unknown flag '%s'\nusage: %s [--csv] [--smoke]\n",
-                   argv[i], argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      usage(stderr);
       std::exit(2);
     }
   }
@@ -26,12 +113,17 @@ ReportOptions ReportOptions::parse(int argc, char** argv) {
 }
 
 void section(const std::string& title) {
+  json_state().current_section = title;
   const std::string bar(65, '=');
   std::printf("%s\n %s\n%s\n", bar.c_str(), title.c_str(), bar.c_str());
 }
 
 void emit(const util::Table& table, const ReportOptions& opts,
           std::ostream& os) {
+  if (!opts.json_path.empty()) {
+    json_state().tables.push_back({json_state().current_section,
+                                   table.headers(), table.rows()});
+  }
   if (opts.csv) {
     os << table.to_csv();
   } else {
@@ -41,6 +133,29 @@ void emit(const util::Table& table, const ReportOptions& opts,
 
 void note(const std::string& text, const ReportOptions& opts) {
   if (!opts.csv) std::printf("%s\n", text.c_str());
+}
+
+void check(const std::string& name, bool passed, const ReportOptions&) {
+  json_state().checks.emplace_back(name, passed);
+  if (!passed) {
+    std::fprintf(stderr, "CHECK FAILED: %s\n", name.c_str());
+  }
+}
+
+int finish(const ReportOptions& opts) {
+  if (!opts.json_path.empty()) {
+    std::ofstream out(opts.json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write JSON report to '%s'\n",
+                   opts.json_path.c_str());
+      return 1;
+    }
+    write_json(out);
+  }
+  for (const auto& [name, passed] : json_state().checks) {
+    if (!passed) return 1;
+  }
+  return 0;
 }
 
 }  // namespace cnet::bench

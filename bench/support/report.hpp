@@ -1,6 +1,9 @@
 // Shared console-report scaffolding for the bench drivers: section banners,
-// table passthrough, and a tiny common argument convention (--csv switches
-// every table to CSV), so all drivers speak one output dialect.
+// table passthrough, a tiny common argument convention (--csv switches
+// every table to CSV, --smoke shrinks runs for CI), and an optional
+// machine-readable JSON sink (--json FILE) that captures every emitted
+// table plus named pass/fail invariant checks — the artifact CI uploads
+// and gates on.
 #pragma once
 
 #include <iostream>
@@ -19,6 +22,9 @@ struct ReportOptions {
   // iteration counts and thread sweeps (numbers become meaningless, but
   // every code path still runs); table-only drivers ignore it.
   bool smoke = false;
+  // When non-empty, finish() writes a JSON report of every table emitted
+  // and every check recorded to this path.
+  std::string json_path;
 
   static ReportOptions parse(int argc, char** argv);
 };
@@ -26,7 +32,9 @@ struct ReportOptions {
 // "==== title ====" banner, width-matched to the tables.
 void section(const std::string& title);
 
-// Prints the table as aligned text, or CSV when --csv was given.
+// Prints the table as aligned text, or CSV when --csv was given. Also
+// captures the table (under the most recent section title) into the JSON
+// report when --json is active.
 void emit(const util::Table& table, const ReportOptions& opts,
           std::ostream& os = std::cout);
 
@@ -34,5 +42,15 @@ void emit(const util::Table& table, const ReportOptions& opts,
 // rows and '='/'-' framed banners reach stdout, so row extraction stays a
 // simple grep.
 void note(const std::string& text, const ReportOptions& opts);
+
+// Records a named invariant check (e.g. "conservation"). Failed checks make
+// finish() return nonzero, so CI can gate on bench invariants without
+// parsing output; they are also echoed to stderr immediately.
+void check(const std::string& name, bool passed, const ReportOptions& opts);
+
+// Writes the JSON report when --json was given and returns the driver's
+// exit code: 0 when every recorded check passed, 1 otherwise. Call as the
+// last line of main().
+int finish(const ReportOptions& opts);
 
 }  // namespace cnet::bench

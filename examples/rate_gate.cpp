@@ -8,7 +8,9 @@
 //
 // Usage: ./examples/rate_gate [backend] [threads] [rate]
 //   backend: central-atomic | central-cas | central-mutex | network |
-//            batched-network                    (default: batched-network)
+//            batched-network | adaptive, optionally prefixed with "elim+"
+//            to put the elimination front-end before the bucket pool
+//            (e.g. elim+batched-network)        (default: batched-network)
 //   threads: total threads incl. the refiller   (default: 5)
 //   rate:    tokens/sec fed to the bucket       (default: 100000)
 #include <algorithm>
@@ -19,6 +21,7 @@
 #include <vector>
 
 #include "cnet/svc/admission.hpp"
+#include "cnet/svc/elimination.hpp"
 #include "cnet/util/cacheline.hpp"
 #include "support/loadgen.hpp"
 
@@ -28,16 +31,18 @@ int main(int argc, char** argv) {
       argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 5;
   const double rate = argc > 3 ? std::atof(argv[3]) : 100000.0;
 
-  const auto kind = cnet::svc::parse_backend_kind(backend_name);
-  if (!kind || threads < 2 || threads > 256 || rate < 1.0) {
+  const auto spec = cnet::svc::parse_backend_spec(backend_name);
+  if (!spec || threads < 2 || threads > 256 || rate < 1.0) {
     std::fprintf(stderr,
-                 "usage: rate_gate [central-atomic|central-cas|central-mutex|"
-                 "network|batched-network] [threads>=2] [rate>=1]\n");
+                 "usage: rate_gate [[elim+]central-atomic|central-cas|"
+                 "central-mutex|network|batched-network|adaptive] "
+                 "[threads>=2] [rate>=1]\n");
     return 2;
   }
 
   cnet::svc::AdmissionConfig cfg;
-  cfg.backend = *kind;
+  cfg.backend = spec->kind;
+  cfg.elimination = spec->elimination;
   cfg.shards = 4;
   cfg.ids.max_threads = threads;
   cnet::svc::AdmissionController gate(cfg);
@@ -97,6 +102,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(attempts - ids.size()));
   std::printf("observed stalls: %llu\n",
               static_cast<unsigned long long>(gate.stall_count()));
+  if (const auto* elim = dynamic_cast<const cnet::svc::ElimCounter*>(
+          &gate.bucket().pool())) {
+    std::printf("eliminated pairs: %llu (refill/consume collisions that "
+                "never touched the backend; %llu backend traversals)\n",
+                static_cast<unsigned long long>(elim->layer().pairs()),
+                static_cast<unsigned long long>(elim->traversal_count()));
+  }
 
   // Safety checks: never over-admit, and no request ID handed out twice.
   const bool bounded = ids.size() <= refilled;

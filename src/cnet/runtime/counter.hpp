@@ -7,7 +7,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
+
+#include "cnet/util/ensure.hpp"
 
 namespace cnet::rt {
 
@@ -67,6 +71,55 @@ class Counter {
   // Total observed contention events (CAS retries / lock waits), if the
   // implementation tracks them; 0 otherwise.
   virtual std::uint64_t stall_count() const { return 0; }
+
+  // Total tokens and antitokens that entered the backing structure: one per
+  // fetch_increment / (try_)fetch_decrement traversal, k per k-token batch,
+  // one antitoken per try_fetch_decrement_n call. Central counters have no
+  // structure to traverse and report 0; the elimination layer's whole point
+  // is keeping this number below the op count, so it is the denominator of
+  // the "traversals per op" benches.
+  virtual std::uint64_t traversal_count() const { return 0; }
+};
+
+// Decorator base (GoF-style): owns an inner Counter and forwards every
+// operation and telemetry read to it. Layers that intercept part of the
+// protocol — svc::ElimCounter pairing increments with decrements before
+// they reach the network, instrumentation shims — derive from this and
+// override only the ops they change, so a stack of decorators still behaves
+// as one Counter to every svc consumer.
+class ForwardingCounter : public Counter {
+ public:
+  explicit ForwardingCounter(std::unique_ptr<Counter> inner)
+      : inner_(std::move(inner)) {
+    CNET_REQUIRE(inner_ != nullptr, "null inner counter");
+  }
+
+  std::int64_t fetch_increment(std::size_t thread_hint) override {
+    return inner_->fetch_increment(thread_hint);
+  }
+  void fetch_increment_batch(std::size_t thread_hint, std::size_t k,
+                             std::int64_t* out_values) override {
+    inner_->fetch_increment_batch(thread_hint, k, out_values);
+  }
+  bool try_fetch_decrement(std::size_t thread_hint,
+                           std::int64_t* reclaimed = nullptr) override {
+    return inner_->try_fetch_decrement(thread_hint, reclaimed);
+  }
+  std::uint64_t try_fetch_decrement_n(std::size_t thread_hint,
+                                      std::uint64_t n) override {
+    return inner_->try_fetch_decrement_n(thread_hint, n);
+  }
+  std::string name() const override { return inner_->name(); }
+  std::uint64_t stall_count() const override { return inner_->stall_count(); }
+  std::uint64_t traversal_count() const override {
+    return inner_->traversal_count();
+  }
+
+  Counter& inner() noexcept { return *inner_; }
+  const Counter& inner() const noexcept { return *inner_; }
+
+ private:
+  std::unique_ptr<Counter> inner_;
 };
 
 }  // namespace cnet::rt

@@ -4,6 +4,7 @@
 
 #include "cnet/util/bitops.hpp"
 #include "cnet/util/ensure.hpp"
+#include "cnet/util/prng.hpp"
 
 namespace cnet::rt {
 
@@ -55,14 +56,6 @@ int try_exchange(std::atomic<std::uint64_t>& state, std::size_t spins) {
   return -1;
 }
 
-std::uint64_t mix_rng(std::uint64_t& s) noexcept {
-  // xorshift64* — cheap per-visit randomness for prism slot choice.
-  s ^= s >> 12;
-  s ^= s << 25;
-  s ^= s >> 27;
-  return s * 0x2545f4914f6cdd1dULL;
-}
-
 }  // namespace
 
 DiffractingTreeCounter::DiffractingTreeCounter(const Config& config)
@@ -84,7 +77,8 @@ unsigned DiffractingTreeCounter::visit_node(std::size_t node,
                                             std::uint64_t& rng_state) {
   const std::size_t slot =
       node * cfg_.prism_slots +
-      static_cast<std::size_t>(mix_rng(rng_state) % cfg_.prism_slots);
+      static_cast<std::size_t>(util::xorshift64_star(rng_state) %
+                               cfg_.prism_slots);
   const int r = try_exchange(prisms_[slot].state, cfg_.partner_spins);
   if (r >= 0) {
     diffractions_.value.fetch_add(1, std::memory_order_relaxed);

@@ -9,7 +9,7 @@ namespace cnet::rt {
 NetworkCounter::NetworkCounter(const topo::Topology& net, std::string label,
                                BalancerMode mode)
     : net_(net), label_(std::move(label)), mode_(mode),
-      cells_(net.width_out()), stalls_() {
+      cells_(net.width_out()), stalls_(), traversals_() {
   for (std::size_t i = 0; i < cells_.size(); ++i) {
     cells_[i].value.store(static_cast<std::int64_t>(i),
                           std::memory_order_relaxed);
@@ -21,6 +21,7 @@ std::int64_t NetworkCounter::fetch_increment(std::size_t thread_hint) {
   const std::size_t out =
       net_.traverse(thread_hint % net_.width_in(), mode_, &local_stalls);
   stalls_.add(thread_hint, local_stalls);
+  traversals_.add(thread_hint, 1);
   // The exit cell assigns the value and advances by t (paper §1.1). One
   // atomic RMW makes the assignment linearizable per wire.
   return cells_[out].value.fetch_add(
@@ -33,6 +34,7 @@ std::int64_t NetworkCounter::fetch_decrement(std::size_t thread_hint) {
   const std::size_t out =
       net_.traverse_anti(thread_hint % net_.width_in(), mode_, &local_stalls);
   stalls_.add(thread_hint, local_stalls);
+  traversals_.add(thread_hint, 1);
   // Undo one cell step: the reclaimed value is the new cell content.
   return cells_[out].value.fetch_sub(
              static_cast<std::int64_t>(net_.width_out()),
@@ -71,6 +73,7 @@ bool NetworkCounter::try_fetch_decrement(std::size_t thread_hint,
   const std::size_t out =
       net_.traverse_anti(thread_hint % net_.width_in(), mode_, &local_stalls);
   stalls_.add(thread_hint, local_stalls);
+  traversals_.add(thread_hint, 1);
   // Fast path: the antitoken's own exit wire — under balanced traffic this
   // is exactly where the most recent token's value sits.
   if (try_claim_cell(out, thread_hint, reclaimed)) return true;
@@ -118,6 +121,7 @@ std::uint64_t NetworkCounter::try_fetch_decrement_n(std::size_t thread_hint,
   const std::size_t out =
       net_.traverse_anti(thread_hint % net_.width_in(), mode_, &local_stalls);
   stalls_.add(thread_hint, local_stalls);
+  traversals_.add(thread_hint, 1);
   std::uint64_t got = 0;
   for (std::size_t i = 0; i < cells_.size() && got < n; ++i) {
     const std::size_t wire = (out + i) % cells_.size();
@@ -147,6 +151,7 @@ void BatchedNetworkCounter::fetch_increment_batch(std::size_t thread_hint,
                       static_cast<std::uint64_t>(k), mode_, &local_stalls,
                       scratch, wire_counts.data());
   stalls_.add(thread_hint, local_stalls);
+  traversals_.add(thread_hint, static_cast<std::uint64_t>(k));
 
   const auto t = static_cast<std::int64_t>(net_.width_out());
   std::size_t filled = 0;

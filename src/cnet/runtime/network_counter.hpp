@@ -59,6 +59,13 @@ class NetworkCounter : public Counter {
 
   std::string name() const override { return label_; }
   std::uint64_t stall_count() const override { return stalls_.total(); }
+  // Tokens + antitokens that entered the network: 1 per (fetch|try_fetch_)
+  // increment/decrement, k per k-token batch pass, 1 antitoken per
+  // try_fetch_decrement_n call. The number the elimination layer exists to
+  // shrink relative to the op count.
+  std::uint64_t traversal_count() const override {
+    return traversals_.total();
+  }
 
   std::size_t width_in() const noexcept { return net_.width_in(); }
   std::size_t width_out() const noexcept { return net_.width_out(); }
@@ -71,6 +78,7 @@ class NetworkCounter : public Counter {
   BalancerMode mode_;
   std::vector<util::Padded<std::atomic<std::int64_t>>> cells_;
   util::StallSlots stalls_;
+  util::StallSlots traversals_;
 
  private:
   bool try_claim_cell(std::size_t wire, std::size_t thread_hint,

@@ -1,0 +1,132 @@
+#include "cnet/svc/adaptive.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::svc {
+
+AdaptiveCounter::AdaptiveCounter(const Config& cfg)
+    : cfg_(cfg),
+      cold_(make_counter(cfg.cold, cfg.net)),
+      hot_(make_counter(cfg.hot, cfg.net)),
+      active_(cold_.get()),
+      in_flight_(kReaderSlots),
+      stats_(cfg.tuning.sample_interval) {
+  CNET_REQUIRE(cfg.cold != BackendKind::kAdaptive &&
+                   cfg.hot != BackendKind::kAdaptive,
+               "adaptive backends do not nest");
+}
+
+template <class Fn>
+auto AdaptiveCounter::with_active(std::size_t thread_hint, Fn&& fn) {
+  auto& slot = in_flight_[thread_hint % kReaderSlots].value;
+  // seq_cst on the enter RMW and the pointer load pairs with the switcher's
+  // seq_cst publish + slot scan: in the single total order, either our
+  // enter precedes the scan (the switcher waits for us) or the publish
+  // precedes our load (we already run on the new backend). Either way no op
+  // touches the cold backend after the switcher starts draining it.
+  slot.fetch_add(1, std::memory_order_seq_cst);
+  rt::Counter* active = active_.load(std::memory_order_seq_cst);
+  struct Exit {
+    std::atomic<std::uint64_t>& slot;
+    ~Exit() { slot.fetch_sub(1, std::memory_order_release); }
+  } exit{slot};
+  return fn(*active);
+}
+
+std::int64_t AdaptiveCounter::fetch_increment(std::size_t thread_hint) {
+  const std::int64_t v = with_active(thread_hint, [&](rt::Counter& c) {
+    return c.fetch_increment(thread_hint);
+  });
+  after_ops(thread_hint, 1);
+  return v;
+}
+
+void AdaptiveCounter::fetch_increment_batch(std::size_t thread_hint,
+                                            std::size_t k,
+                                            std::int64_t* out_values) {
+  with_active(thread_hint, [&](rt::Counter& c) {
+    c.fetch_increment_batch(thread_hint, k, out_values);
+    return 0;
+  });
+  after_ops(thread_hint, static_cast<std::uint64_t>(k));
+}
+
+bool AdaptiveCounter::try_fetch_decrement(std::size_t thread_hint,
+                                          std::int64_t* reclaimed) {
+  const bool ok = with_active(thread_hint, [&](rt::Counter& c) {
+    return c.try_fetch_decrement(thread_hint, reclaimed);
+  });
+  after_ops(thread_hint, 1);
+  return ok;
+}
+
+std::uint64_t AdaptiveCounter::try_fetch_decrement_n(std::size_t thread_hint,
+                                                     std::uint64_t n) {
+  const std::uint64_t got = with_active(thread_hint, [&](rt::Counter& c) {
+    return c.try_fetch_decrement_n(thread_hint, n);
+  });
+  after_ops(thread_hint, 1);
+  return got;
+}
+
+std::string AdaptiveCounter::name() const {
+  const rt::Counter* active = active_.load(std::memory_order_acquire);
+  return "adaptive·" + active->name();
+}
+
+void AdaptiveCounter::after_ops(std::size_t thread_hint, std::uint64_t n) {
+  if (switched_.load(std::memory_order_relaxed)) return;  // one-way switch
+  if (!stats_.record_ops(thread_hint, n)) return;
+  const auto window = stats_.sample(cold_->stall_count());
+  if (!window) return;  // another thread holds the sampler
+  if (window->ops < cfg_.tuning.min_window_ops) return;
+  if (window->event_rate() < cfg_.tuning.stall_rate_threshold) return;
+  do_switch(thread_hint);
+}
+
+void AdaptiveCounter::force_switch(std::size_t thread_hint) {
+  do_switch(thread_hint);
+  while (!switched_.load(std::memory_order_acquire)) {
+    std::this_thread::yield();  // lost the claim race: wait for the winner
+  }
+}
+
+void AdaptiveCounter::do_switch(std::size_t thread_hint) {
+  bool expected = false;
+  if (!switch_claimed_.compare_exchange_strong(expected, true,
+                                               std::memory_order_acq_rel)) {
+    return;  // someone else is (or was) the switcher
+  }
+  // Publish, then wait for reader quiescence: once every slot drains, no op
+  // can touch the cold backend again (see with_active), so it sits in a
+  // quiescent state whose remaining pool count is exactly what
+  // try_fetch_decrement_n can reclaim.
+  active_.store(hot_.get(), std::memory_order_seq_cst);
+  for (auto& slot : in_flight_) {
+    while (slot.value.load(std::memory_order_seq_cst) != 0) {
+      std::this_thread::yield();
+    }
+  }
+  // Token migration: drain the cold pool and push the same number of tokens
+  // into the hot backend. Values are pool tokens (no identity), so only the
+  // count must be conserved — and it is, exactly: consumers racing with the
+  // drain see tokens in one pool or the other, never in both.
+  std::uint64_t moved = 0;
+  constexpr std::uint64_t kChunk = 256;
+  std::int64_t scratch[kChunk];
+  for (std::uint64_t got;
+       (got = cold_->try_fetch_decrement_n(thread_hint, kChunk)) != 0;) {
+    moved += got;
+  }
+  for (std::uint64_t left = moved; left > 0;) {
+    const auto k = static_cast<std::size_t>(std::min(left, kChunk));
+    hot_->fetch_increment_batch(thread_hint, k, scratch);
+    left -= k;
+  }
+  switched_.store(true, std::memory_order_release);
+}
+
+}  // namespace cnet::svc

@@ -1,0 +1,100 @@
+// Adaptive backend switching: a Counter that starts on the cheap central
+// backend — on an idle or lightly loaded deployment the single fetch_add
+// word beats any network — and hot-swaps to the counting-network backend
+// once a svc::LoadStats probe sees the stall rate (CAS retries per op)
+// cross a threshold, the point where the central cache line has become the
+// bottleneck the paper's networks exist to break (envoy's adaptive
+// admission filters make the same move between cheap and resilient modes).
+//
+// The swap is RCU-style: ops enter a padded per-slot reader count, read the
+// active-backend pointer, run, and leave; the switcher publishes the new
+// pointer, waits until every reader slot drains to zero — the runtime
+// analogue of the quiescent states of paper §2.2 / topology/quiescent,
+// where the old structure's outstanding token count is a well-defined
+// function of what entered it — and only then migrates the cold backend's
+// remaining pool tokens into the new one, so the available count is
+// conserved exactly across the swap.
+//
+// Pool semantics only: the value sequence restarts on the new backend, so
+// counts (token buckets, semaphore pools) are conserved and bound at zero,
+// but values must not be used as identities. During the brief drain window
+// consumers may observe an emptier pool than the true total (transient
+// under-admission); over-admission is impossible at every interleaving.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cnet/runtime/counter.hpp"
+#include "cnet/svc/backend.hpp"
+#include "cnet/svc/load_stats.hpp"
+#include "cnet/util/cacheline.hpp"
+
+namespace cnet::svc {
+
+class AdaptiveCounter final : public rt::Counter {
+ public:
+  struct Config {
+    BackendKind cold = BackendKind::kCentralAtomic;
+    BackendKind hot = BackendKind::kBatchedNetwork;
+    // Network shape for the hot backend (elim/adaptive sub-knobs unused).
+    BackendConfig net;
+    AdaptiveTuning tuning;
+  };
+
+  explicit AdaptiveCounter(const Config& cfg);
+  AdaptiveCounter() : AdaptiveCounter(Config{}) {}
+
+  std::int64_t fetch_increment(std::size_t thread_hint) override;
+  void fetch_increment_batch(std::size_t thread_hint, std::size_t k,
+                             std::int64_t* out_values) override;
+  bool try_fetch_decrement(std::size_t thread_hint,
+                           std::int64_t* reclaimed = nullptr) override;
+  std::uint64_t try_fetch_decrement_n(std::size_t thread_hint,
+                                      std::uint64_t n) override;
+
+  std::string name() const override;
+  std::uint64_t stall_count() const override {
+    return cold_->stall_count() + hot_->stall_count();
+  }
+  std::uint64_t traversal_count() const override {
+    return cold_->traversal_count() + hot_->traversal_count();
+  }
+
+  // True once the hot backend serves all new ops (the swap and token
+  // migration have completed).
+  bool switched() const noexcept {
+    return switched_.load(std::memory_order_acquire);
+  }
+  // Forces the swap regardless of observed load; blocks until the swap
+  // (whoever performs it) has completed. Deterministic-test and
+  // operator-escape hatch.
+  void force_switch(std::size_t thread_hint);
+
+  const LoadStats& stats() const noexcept { return stats_; }
+
+ private:
+  static constexpr std::size_t kReaderSlots = 64;
+
+  // Runs fn against the currently active backend inside a reader section.
+  template <class Fn>
+  auto with_active(std::size_t thread_hint, Fn&& fn);
+
+  // Post-op bookkeeping: sample the load probe and switch when warranted.
+  void after_ops(std::size_t thread_hint, std::uint64_t n);
+  void do_switch(std::size_t thread_hint);
+
+  Config cfg_;
+  std::unique_ptr<rt::Counter> cold_;
+  std::unique_ptr<rt::Counter> hot_;
+  std::atomic<rt::Counter*> active_;
+  std::vector<util::Padded<std::atomic<std::uint64_t>>> in_flight_;
+  std::atomic<bool> switch_claimed_{false};
+  std::atomic<bool> switched_{false};
+  LoadStats stats_;
+};
+
+}  // namespace cnet::svc

@@ -5,8 +5,13 @@
 #include "cnet/core/counting.hpp"
 #include "cnet/runtime/central.hpp"
 #include "cnet/runtime/network_counter.hpp"
+#include "cnet/svc/adaptive.hpp"
 
 namespace cnet::svc {
+
+namespace {
+constexpr std::string_view kElimPrefix = "elim+";
+}  // namespace
 
 const char* backend_kind_name(BackendKind kind) noexcept {
   switch (kind) {
@@ -15,15 +20,34 @@ const char* backend_kind_name(BackendKind kind) noexcept {
     case BackendKind::kCentralMutex: return "central-mutex";
     case BackendKind::kNetwork: return "network";
     case BackendKind::kBatchedNetwork: return "batched-network";
+    case BackendKind::kAdaptive: return "adaptive";
   }
   return "?";
 }
 
 std::optional<BackendKind> parse_backend_kind(std::string_view name) noexcept {
-  for (const BackendKind kind : kAllBackendKinds) {
+  for (const BackendKind kind : kPoolBackendKinds) {
     if (name == backend_kind_name(kind)) return kind;
   }
   return std::nullopt;
+}
+
+std::string backend_spec_name(const BackendSpec& spec) {
+  return spec.elimination
+             ? std::string(kElimPrefix) + backend_kind_name(spec.kind)
+             : std::string(backend_kind_name(spec.kind));
+}
+
+std::optional<BackendSpec> parse_backend_spec(std::string_view name) noexcept {
+  BackendSpec spec;
+  if (name.substr(0, kElimPrefix.size()) == kElimPrefix) {
+    spec.elimination = true;
+    name.remove_prefix(kElimPrefix.size());
+  }
+  const auto kind = parse_backend_kind(name);
+  if (!kind) return std::nullopt;
+  spec.kind = *kind;
+  return spec;
 }
 
 std::unique_ptr<rt::Counter> make_counter(BackendKind kind,
@@ -47,8 +71,23 @@ std::unique_ptr<rt::Counter> make_counter(BackendKind kind,
       return std::make_unique<rt::BatchedNetworkCounter>(
           core::make_counting(cfg.width_in, cfg.width_out),
           label("batched "), cfg.mode);
+    case BackendKind::kAdaptive: {
+      AdaptiveCounter::Config acfg;
+      acfg.net = cfg;
+      acfg.tuning = cfg.adaptive;
+      return std::make_unique<AdaptiveCounter>(acfg);
+    }
   }
   return nullptr;
+}
+
+std::unique_ptr<rt::Counter> make_counter(const BackendSpec& spec,
+                                          const BackendConfig& cfg) {
+  auto counter = make_counter(spec.kind, cfg);
+  if (spec.elimination) {
+    counter = std::make_unique<ElimCounter>(std::move(counter), cfg.elim);
+  }
+  return counter;
 }
 
 }  // namespace cnet::svc

@@ -1,15 +1,21 @@
 // Counter-backend selection for the service layer: one factory that every
 // svc consumer, bench driver, and property test goes through, so "compare
 // central vs. network vs. batched" is a loop over BackendKind instead of
-// five hand-rolled constructions.
+// five hand-rolled constructions. The factory also composes the two
+// pool-oriented layers this file's consumers opt into: the elimination
+// front-end (BackendSpec::elimination wraps any kind in svc::ElimCounter)
+// and the adaptive kind (kAdaptive starts central and hot-swaps to the
+// batched network once observed stall rates cross a threshold).
 #pragma once
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
 
 #include "cnet/runtime/compiled_network.hpp"
 #include "cnet/runtime/counter.hpp"
+#include "cnet/svc/elimination.hpp"
 
 namespace cnet::svc {
 
@@ -19,13 +25,36 @@ enum class BackendKind {
   kCentralMutex,    // lock-protected
   kNetwork,         // NetworkCounter on C(w,t), per-token traversal
   kBatchedNetwork,  // BatchedNetworkCounter on C(w,t), amortized batches
+  kAdaptive,        // starts kCentralAtomic, swaps to kBatchedNetwork under
+                    // contention — pool semantics only (see AdaptiveCounter)
 };
 
-// All kinds, in display order — the iteration axis for tests and benches.
+// The value-faithful kinds, in display order — the iteration axis for tests
+// and benches that rely on exact fetch_increment identities (allocators,
+// prefix properties). kAdaptive is deliberately absent: its backend swap
+// restarts the value sequence, so it conserves *counts* (pools, buckets)
+// but not identities.
 inline constexpr BackendKind kAllBackendKinds[] = {
     BackendKind::kCentralAtomic, BackendKind::kCentralCas,
     BackendKind::kCentralMutex, BackendKind::kNetwork,
     BackendKind::kBatchedNetwork,
+};
+
+// Every kind usable as a token pool, value-faithful or not.
+inline constexpr BackendKind kPoolBackendKinds[] = {
+    BackendKind::kCentralAtomic,  BackendKind::kCentralCas,
+    BackendKind::kCentralMutex,   BackendKind::kNetwork,
+    BackendKind::kBatchedNetwork, BackendKind::kAdaptive,
+};
+
+// Switch tuning for kAdaptive (see svc::AdaptiveCounter for the machinery).
+struct AdaptiveTuning {
+  // Per-slot ops between LoadStats probes.
+  std::uint64_t sample_interval = 2048;
+  // Windows smaller than this never trigger (startup noise guard).
+  std::uint64_t min_window_ops = 4096;
+  // Stalls per op in one window that trigger the central→network swap.
+  double stall_rate_threshold = 0.05;
 };
 
 // Shape of the counting network behind the network-backed kinds; ignored by
@@ -34,12 +63,29 @@ struct BackendConfig {
   std::size_t width_in = 8;
   std::size_t width_out = 24;
   rt::BalancerMode mode = rt::BalancerMode::kFetchAdd;
+  // Knobs for the composed layers; used only where the spec or kind asks
+  // for them.
+  ElimCounter::Config elim;
+  AdaptiveTuning adaptive;
+};
+
+// A backend choice plus the composable elimination front-end: parsed from
+// specs like "batched-network" or "elim+central-atomic".
+struct BackendSpec {
+  BackendKind kind = BackendKind::kBatchedNetwork;
+  bool elimination = false;
 };
 
 const char* backend_kind_name(BackendKind kind) noexcept;
 std::optional<BackendKind> parse_backend_kind(std::string_view name) noexcept;
 
+// "elim+<kind>" or "<kind>"; round-trips with backend_spec_name.
+std::string backend_spec_name(const BackendSpec& spec);
+std::optional<BackendSpec> parse_backend_spec(std::string_view name) noexcept;
+
 std::unique_ptr<rt::Counter> make_counter(BackendKind kind,
+                                          const BackendConfig& cfg = {});
+std::unique_ptr<rt::Counter> make_counter(const BackendSpec& spec,
                                           const BackendConfig& cfg = {});
 
 }  // namespace cnet::svc

@@ -1,0 +1,160 @@
+#include "cnet/svc/elimination.hpp"
+
+#include <thread>
+
+#include "cnet/util/ensure.hpp"
+#include "cnet/util/prng.hpp"
+
+namespace cnet::svc {
+
+namespace {
+
+// Slot states (low 2 bits of the slot word). Only the depositing waiter
+// ever returns a slot to kEmpty, and every return bumps the epoch in the
+// high bits, so a stale catcher's CAS can never land on a successor
+// occupant (no ABA without a separate generation word).
+constexpr std::uint64_t kEmpty = 0;
+constexpr std::uint64_t kWaitInc = 1;
+constexpr std::uint64_t kWaitDec = 2;
+constexpr std::uint64_t kPaired = 3;
+
+constexpr std::uint64_t pack(std::uint64_t epoch, std::uint64_t state) {
+  return (epoch << 2) | state;
+}
+
+std::uint64_t& thread_rng_state(std::size_t thread_hint) noexcept {
+  thread_local std::uint64_t state = 0;
+  if (state == 0) {
+    state = 0x9e3779b97f4a7c15ULL * (thread_hint + 1) + 0x1995;
+  }
+  return state;
+}
+
+}  // namespace
+
+EliminationLayer::EliminationLayer(const Config& cfg)
+    : cfg_(cfg), slots_(cfg.slots), pairs_(), withdrawals_() {
+  CNET_REQUIRE(cfg_.slots > 0, "at least one elimination slot");
+}
+
+bool EliminationLayer::try_exchange(Role role, std::size_t thread_hint,
+                                    std::size_t spins, std::int64_t* value) {
+  CNET_REQUIRE(value != nullptr, "null value out-parameter");
+  const std::uint64_t wait_state = role == Role::kInc ? kWaitInc : kWaitDec;
+  const std::uint64_t partner_state =
+      role == Role::kInc ? kWaitDec : kWaitInc;
+  std::uint64_t& rng = thread_rng_state(thread_hint);
+  const std::size_t start =
+      static_cast<std::size_t>(util::xorshift64_star(rng) % cfg_.slots);
+
+  // Catch pass: one sweep over the slots (random start) looking for an
+  // already-waiting partner. A successful CAS keeps the partner's epoch, so
+  // both sides derive the same pair value from it.
+  for (std::size_t i = 0; i < cfg_.slots; ++i) {
+    const std::size_t slot = (start + i) % cfg_.slots;
+    std::uint64_t w = slots_[slot].word.load(std::memory_order_acquire);
+    if ((w & 3) != partner_state) continue;
+    const std::uint64_t epoch = w >> 2;
+    if (slots_[slot].word.compare_exchange_strong(
+            w, pack(epoch, kPaired), std::memory_order_acq_rel)) {
+      pairs_.add(thread_hint, 1);
+      *value = pair_value(slot, epoch);
+      return true;
+    }
+  }
+  if (spins == 0) return false;  // catch-only mode (batch/bulk paths)
+
+  // Deposit pass: claim the first empty slot from the same random start and
+  // wait for a partner within the spin budget.
+  for (std::size_t i = 0; i < cfg_.slots; ++i) {
+    const std::size_t slot = (start + i) % cfg_.slots;
+    std::uint64_t w = slots_[slot].word.load(std::memory_order_acquire);
+    if ((w & 3) != kEmpty) continue;
+    const std::uint64_t epoch = w >> 2;
+    if (!slots_[slot].word.compare_exchange_strong(
+            w, pack(epoch, wait_state), std::memory_order_acq_rel)) {
+      continue;
+    }
+    for (std::size_t spin = 0; spin < spins; ++spin) {
+      if ((slots_[slot].word.load(std::memory_order_acquire) & 3) ==
+          kPaired) {
+        slots_[slot].word.store(pack(epoch + 1, kEmpty),
+                                std::memory_order_release);
+        *value = pair_value(slot, epoch);
+        return true;
+      }
+      if ((spin & 15u) == 15u) std::this_thread::yield();
+    }
+    std::uint64_t expected = pack(epoch, wait_state);
+    if (slots_[slot].word.compare_exchange_strong(
+            expected, pack(epoch + 1, kEmpty), std::memory_order_acq_rel)) {
+      withdrawals_.add(thread_hint, 1);
+      return false;
+    }
+    // A partner slipped in between the timeout check and the withdrawal.
+    // The only transition another thread can make from our wait state is
+    // the catcher's single CAS to kPaired, so the exchange is already
+    // complete — reset the slot and take the pairing.
+    slots_[slot].word.store(pack(epoch + 1, kEmpty),
+                            std::memory_order_release);
+    *value = pair_value(slot, epoch);
+    return true;
+  }
+  return false;  // every slot busy with same-role waiters or mid-pairing
+}
+
+ElimCounter::ElimCounter(std::unique_ptr<rt::Counter> inner,
+                         const Config& cfg)
+    : ForwardingCounter(std::move(inner)), cfg_(cfg), layer_(cfg.layer) {}
+
+std::int64_t ElimCounter::fetch_increment(std::size_t thread_hint) {
+  std::int64_t v = 0;
+  if (layer_.try_exchange(EliminationLayer::Role::kInc, thread_hint,
+                          cfg_.inc_spins, &v)) {
+    return v;
+  }
+  return inner().fetch_increment(thread_hint);
+}
+
+void ElimCounter::fetch_increment_batch(std::size_t thread_hint,
+                                        std::size_t k,
+                                        std::int64_t* out_values) {
+  // Catch-only: hand tokens directly to already-waiting decrements, but
+  // never deposit — per-token spin budgets would serialize the batch and
+  // defeat the amortized traversal the batched backends provide.
+  std::size_t filled = 0;
+  std::int64_t v = 0;
+  while (filled < k && layer_.try_exchange(EliminationLayer::Role::kInc,
+                                           thread_hint, 0, &v)) {
+    out_values[filled++] = v;
+  }
+  if (filled < k) {
+    inner().fetch_increment_batch(thread_hint, k - filled,
+                                  out_values + filled);
+  }
+}
+
+bool ElimCounter::try_fetch_decrement(std::size_t thread_hint,
+                                      std::int64_t* reclaimed) {
+  std::int64_t v = 0;
+  if (layer_.try_exchange(EliminationLayer::Role::kDec, thread_hint,
+                          cfg_.dec_spins, &v)) {
+    if (reclaimed != nullptr) *reclaimed = v;
+    return true;
+  }
+  return inner().try_fetch_decrement(thread_hint, reclaimed);
+}
+
+std::uint64_t ElimCounter::try_fetch_decrement_n(std::size_t thread_hint,
+                                                 std::uint64_t n) {
+  std::uint64_t got = 0;
+  std::int64_t v = 0;
+  while (got < n && layer_.try_exchange(EliminationLayer::Role::kDec,
+                                        thread_hint, 0, &v)) {
+    ++got;
+  }
+  if (got < n) got += inner().try_fetch_decrement_n(thread_hint, n - got);
+  return got;
+}
+
+}  // namespace cnet::svc

@@ -1,0 +1,73 @@
+// Lightweight load probe for adaptive backend selection: per-slot padded op
+// tallies (util::StallSlots) plus a claim-one sampler that turns "every Nth
+// op on my slot" into a contention-free trigger. The hot path is one
+// relaxed fetch_add on the caller's own cache line; the cross-slot sums
+// only run on the sampled (1/N) calls.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "cnet/util/ensure.hpp"
+#include "cnet/util/stall_slots.hpp"
+
+namespace cnet::svc {
+
+class LoadStats {
+ public:
+  explicit LoadStats(std::uint64_t sample_interval)
+      : interval_(sample_interval) {
+    CNET_REQUIRE(sample_interval > 0, "sample interval must be positive");
+  }
+
+  // Records `n` completed ops against the caller's slot; returns true when
+  // the slot's tally crossed a sample boundary, i.e. roughly once per
+  // `sample_interval` ops per slot — the caller should then call sample().
+  bool record_ops(std::size_t thread_hint, std::uint64_t n = 1) noexcept {
+    const std::uint64_t now = ops_.add_and_get(thread_hint, n);
+    return now / interval_ != (now - n) / interval_;
+  }
+
+  std::uint64_t ops() const noexcept { return ops_.total(); }
+
+  // One observation window: ops completed and contention events (stalls,
+  // CAS retries — whatever total the caller feeds in) since the previous
+  // successful sample.
+  struct Window {
+    std::uint64_t ops = 0;
+    std::uint64_t events = 0;
+    double event_rate() const noexcept {
+      return ops == 0 ? 0.0 : static_cast<double>(events) /
+                                  static_cast<double>(ops);
+    }
+  };
+
+  // Claims the sampler and returns the delta window against
+  // `total_events_now` (the caller's current lifetime event total, e.g.
+  // Counter::stall_count()). Returns nullopt when another thread holds the
+  // sampler — concurrent triggers just skip, the next boundary retries.
+  std::optional<Window> sample(std::uint64_t total_events_now) noexcept {
+    bool expected = false;
+    if (!sampling_.compare_exchange_strong(expected, true,
+                                           std::memory_order_acquire)) {
+      return std::nullopt;
+    }
+    const std::uint64_t ops_now = ops_.total();
+    Window window{ops_now - last_ops_, total_events_now - last_events_};
+    last_ops_ = ops_now;
+    last_events_ = total_events_now;
+    sampling_.store(false, std::memory_order_release);
+    return window;
+  }
+
+ private:
+  std::uint64_t interval_;
+  util::StallSlots ops_;
+  std::atomic<bool> sampling_{false};
+  // Guarded by sampling_ (only the claim holder reads or writes them).
+  std::uint64_t last_ops_ = 0;
+  std::uint64_t last_events_ = 0;
+};
+
+}  // namespace cnet::svc

@@ -24,6 +24,13 @@ NetTokenBucket::NetTokenBucket(std::unique_ptr<rt::Counter> pool, Config cfg)
 std::uint64_t NetTokenBucket::consume(std::size_t thread_hint,
                                       std::uint64_t tokens,
                                       bool allow_partial) {
+  if (tokens == 1) {
+    // The common admit(1) case takes the single-op path: same conclusive
+    // miss-means-empty contract, no bulk machinery — and on an ElimCounter
+    // pool it is the path that deposits in the exchange slots, so lone
+    // consumes can pair with a racing batch refill.
+    return pool_->try_fetch_decrement(thread_hint) ? 1 : 0;
+  }
   std::uint64_t got = 0;
   while (got < tokens) {
     // Bulk claims: central backends take the whole remainder in one CAS,

@@ -28,6 +28,17 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+// xorshift64* (Marsaglia's xorshift, Vigna's * scrambler): the cheap
+// inline step for call sites where carrying a full Xoshiro256 would be
+// overkill — diffracting-tree prism choice, elimination slot probes, bench
+// mix draws. Mutates `state`, which must be seeded nonzero.
+inline constexpr std::uint64_t xorshift64_star(std::uint64_t& state) noexcept {
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return state * 0x2545f4914f6cdd1dULL;
+}
+
 // xoshiro256**: the workhorse generator.
 class Xoshiro256 {
  public:

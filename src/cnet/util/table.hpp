@@ -18,6 +18,14 @@ class Table {
 
   std::size_t num_rows() const noexcept { return rows_.size(); }
 
+  // Structured access for machine-readable sinks (bench JSON reports).
+  const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
   // Column-aligned plain text rendering, with a header separator.
   void print(std::ostream& os) const;
 

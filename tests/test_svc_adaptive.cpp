@@ -1,0 +1,128 @@
+// svc::AdaptiveCounter: the central→network hot swap must preserve pool
+// counts exactly (the migrated token count equals the cold backend's
+// remaining pool), keep the bound-at-zero guarantee at every interleaving,
+// and trigger off the LoadStats probe without any cooperation from callers.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "cnet/svc/adaptive.hpp"
+#include "cnet/svc/backend.hpp"
+#include "cnet/util/prng.hpp"
+
+namespace cnet::svc {
+namespace {
+
+TEST(AdaptiveCounter, StartsColdAndBoundsAtZero) {
+  AdaptiveCounter counter;
+  EXPECT_FALSE(counter.switched());
+  EXPECT_EQ(counter.name(), "adaptive·central-atomic");
+  for (int i = 0; i < 10; ++i) (void)counter.fetch_increment(0);
+  EXPECT_EQ(counter.try_fetch_decrement_n(0, 100), 10u);
+  EXPECT_FALSE(counter.try_fetch_decrement(0));
+  EXPECT_FALSE(counter.switched());
+}
+
+TEST(AdaptiveCounter, ForceSwitchMigratesThePoolExactly) {
+  AdaptiveCounter counter;
+  std::int64_t scratch[37];
+  counter.fetch_increment_batch(0, 37, scratch);
+  EXPECT_EQ(counter.try_fetch_decrement_n(0, 5), 5u);
+
+  counter.force_switch(0);
+  EXPECT_TRUE(counter.switched());
+  EXPECT_EQ(counter.name(), "adaptive·batched C(8,24)");
+  // The 32 remaining tokens moved across backends; not one more or less.
+  EXPECT_EQ(counter.try_fetch_decrement_n(0, 100), 32u);
+  EXPECT_EQ(counter.try_fetch_decrement_n(0, 100), 0u);
+}
+
+TEST(AdaptiveCounter, StallRateThresholdTriggersTheSwitchUnprompted) {
+  AdaptiveCounter::Config cfg;
+  cfg.tuning.sample_interval = 64;
+  cfg.tuning.min_window_ops = 64;
+  cfg.tuning.stall_rate_threshold = 0.0;  // any sampled window qualifies
+  AdaptiveCounter counter(cfg);
+  EXPECT_FALSE(counter.switched());
+  for (int i = 0; i < 200 && !counter.switched(); ++i) {
+    (void)counter.fetch_increment(0);
+  }
+  EXPECT_TRUE(counter.switched());
+  // Every pre-switch increment survived the migration.
+  std::uint64_t drained = 0;
+  for (std::uint64_t got;
+       (got = counter.try_fetch_decrement_n(0, 16)) != 0;) {
+    drained += got;
+  }
+  EXPECT_GE(drained, 64u);
+}
+
+TEST(AdaptiveCounter, SwapUnderConcurrentMixedTrafficConservesCounts) {
+  AdaptiveCounter counter;
+  constexpr std::size_t kThreads = 6, kOps = 1500;
+  std::vector<std::uint64_t> incs(kThreads, 0), decs(kThreads, 0);
+  {
+    std::vector<std::jthread> workers;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        util::Xoshiro256 rng(0xADA7 + t);
+        std::int64_t batch[8];
+        for (std::size_t i = 0; i < kOps; ++i) {
+          switch (rng.below(4)) {
+            case 0: {
+              const std::size_t k = 1 + rng.below(8);
+              counter.fetch_increment_batch(t, k, batch);
+              incs[t] += k;
+              break;
+            }
+            case 1: {
+              decs[t] += counter.try_fetch_decrement_n(t, 1 + rng.below(8));
+              break;
+            }
+            case 2: {
+              if (counter.try_fetch_decrement(t)) ++decs[t];
+              break;
+            }
+            default: {
+              (void)counter.fetch_increment(t);
+              ++incs[t];
+              break;
+            }
+          }
+          if (t == 0 && i == kOps / 2) counter.force_switch(t);
+        }
+      });
+    }
+  }
+  EXPECT_TRUE(counter.switched());
+  std::uint64_t total_incs = 0, total_decs = 0;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    total_incs += incs[t];
+    total_decs += decs[t];
+  }
+  ASSERT_LE(total_decs, total_incs);
+  std::uint64_t drained = 0;
+  for (std::uint64_t got;
+       (got = counter.try_fetch_decrement_n(0, 16)) != 0;) {
+    drained += got;
+  }
+  EXPECT_EQ(total_decs + drained, total_incs)
+      << "tokens were minted or lost across the backend swap";
+}
+
+TEST(AdaptiveCounter, FactoryBuildsAndComposesWithElimination) {
+  const auto plain = make_counter(BackendKind::kAdaptive);
+  EXPECT_EQ(plain->name(), "adaptive·central-atomic");
+
+  const auto composed =
+      make_counter(BackendSpec{BackendKind::kAdaptive, true});
+  EXPECT_EQ(composed->name(), "elim·adaptive·central-atomic");
+  // Counts still conserve through both layers.
+  for (int i = 0; i < 8; ++i) (void)composed->fetch_increment(0);
+  EXPECT_EQ(composed->try_fetch_decrement_n(0, 100), 8u);
+  EXPECT_FALSE(composed->try_fetch_decrement(0));
+}
+
+}  // namespace
+}  // namespace cnet::svc

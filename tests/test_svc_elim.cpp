@@ -1,0 +1,149 @@
+// svc::EliminationLayer / svc::ElimCounter unit tests: the exchange-slot
+// protocol (catch, deposit/withdraw, pair-value agreement) and the headline
+// guarantee of the front-end — a paired increment/decrement cancels locally
+// and never sends a token into the backing network (its traversal counter
+// stays untouched).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cnet/core/counting.hpp"
+#include "cnet/runtime/network_counter.hpp"
+#include "cnet/svc/backend.hpp"
+#include "cnet/svc/elimination.hpp"
+
+namespace cnet::svc {
+namespace {
+
+using Role = EliminationLayer::Role;
+
+TEST(EliminationLayer, CatchOnlyMissesOnEmptySlots) {
+  EliminationLayer layer({.slots = 2, .max_spins = 64});
+  std::int64_t value = 0;
+  EXPECT_FALSE(layer.try_exchange(Role::kDec, 0, /*spins=*/0, &value));
+  EXPECT_FALSE(layer.try_exchange(Role::kInc, 0, /*spins=*/0, &value));
+  EXPECT_EQ(layer.pairs(), 0u);
+  EXPECT_EQ(layer.withdrawals(), 0u);
+}
+
+TEST(EliminationLayer, DepositWithdrawsCleanlyAfterTimeout) {
+  EliminationLayer layer({.slots = 1, .max_spins = 16});
+  std::int64_t value = 0;
+  EXPECT_FALSE(layer.try_exchange(Role::kInc, 0, /*spins=*/16, &value));
+  EXPECT_EQ(layer.withdrawals(), 1u);
+  // The slot must be empty again: a later opposite-role catch pass finds no
+  // stale waiter to pair with.
+  EXPECT_FALSE(layer.try_exchange(Role::kDec, 1, /*spins=*/0, &value));
+  EXPECT_EQ(layer.pairs(), 0u);
+}
+
+TEST(EliminationLayer, PairAgreesOnOneNegativeValue) {
+  EliminationLayer layer({.slots = 1, .max_spins = 64});
+  std::int64_t waiter_value = 0, catcher_value = 0;
+  bool waiter_paired = false;
+  std::thread waiter([&] {
+    // Large budget: stays deposited until the catcher arrives.
+    waiter_paired =
+        layer.try_exchange(Role::kInc, 0, 1u << 28, &waiter_value);
+  });
+  while (!layer.try_exchange(Role::kDec, 1, /*spins=*/0, &catcher_value)) {
+    std::this_thread::yield();  // waiter not deposited yet
+  }
+  waiter.join();
+  ASSERT_TRUE(waiter_paired);
+  EXPECT_EQ(waiter_value, catcher_value);
+  EXPECT_LT(waiter_value, 0);
+  EXPECT_EQ(layer.pairs(), 1u);
+}
+
+TEST(ElimCounter, PairedIncDecNeverEntersTheNetwork) {
+  // The tentpole guarantee, deterministically: one increment deposits, one
+  // decrement collides with it, both complete — and the backing network's
+  // traversal counter never moves, because neither token was ever routed.
+  ElimCounter counter(
+      std::make_unique<rt::BatchedNetworkCounter>(core::make_counting(4, 8),
+                                                  "C(4,8)"),
+      {.layer = {.slots = 1, .max_spins = 1u << 28},
+       .inc_spins = 1u << 28,
+       .dec_spins = 1u << 28});
+
+  std::int64_t inc_value = 0;
+  std::thread inc([&] { inc_value = counter.fetch_increment(0); });
+  std::int64_t dec_value = 0;
+  // Catch-only probes until the waiter shows up, so this thread can never
+  // fall through to the backing counter either.
+  while (!counter.layer().try_exchange(Role::kDec, 1, /*spins=*/0,
+                                       &dec_value)) {
+    std::this_thread::yield();
+  }
+  inc.join();
+
+  EXPECT_EQ(inc_value, dec_value);
+  EXPECT_LT(inc_value, 0);
+  EXPECT_EQ(counter.layer().pairs(), 1u);
+  EXPECT_EQ(counter.inner().traversal_count(), 0u)
+      << "a paired inc/dec must not traverse the backing network";
+  EXPECT_EQ(counter.inner().stall_count(), 0u);
+}
+
+TEST(ElimCounter, FallsThroughToBackingWithoutAPartner) {
+  // Catch-only on both roles and a single thread: nothing ever pairs, so
+  // the decorator must be a transparent pass-through.
+  ElimCounter counter(
+      std::make_unique<rt::BatchedNetworkCounter>(core::make_counting(4, 8),
+                                                  "C(4,8)"),
+      {.layer = {.slots = 2, .max_spins = 16},
+       .inc_spins = 0,
+       .dec_spins = 0});
+  std::int64_t batch[5];
+  counter.fetch_increment_batch(0, 5, batch);
+  std::vector<std::int64_t> values(batch, batch + 5);
+  values.push_back(counter.fetch_increment(1));
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(std::vector<std::int64_t>({0, 1, 2, 3, 4, 5}), values)
+      << "pass-through increments must hand out the backing sequence";
+  EXPECT_EQ(counter.traversal_count(), 6u);
+
+  EXPECT_EQ(counter.try_fetch_decrement_n(0, 4), 4u);
+  EXPECT_TRUE(counter.try_fetch_decrement(0));
+  EXPECT_TRUE(counter.try_fetch_decrement(0));
+  // Bound at zero: the pool is drained and must report empty.
+  EXPECT_FALSE(counter.try_fetch_decrement(0));
+  EXPECT_EQ(counter.try_fetch_decrement_n(0, 4), 0u);
+  EXPECT_EQ(counter.layer().pairs(), 0u);
+}
+
+TEST(BackendSpec, ParsesAndRoundTrips) {
+  const auto plain = parse_backend_spec("batched-network");
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->kind, BackendKind::kBatchedNetwork);
+  EXPECT_FALSE(plain->elimination);
+
+  const auto elim = parse_backend_spec("elim+central-atomic");
+  ASSERT_TRUE(elim.has_value());
+  EXPECT_EQ(elim->kind, BackendKind::kCentralAtomic);
+  EXPECT_TRUE(elim->elimination);
+  EXPECT_EQ(backend_spec_name(*elim), "elim+central-atomic");
+
+  const auto adaptive = parse_backend_spec("elim+adaptive");
+  ASSERT_TRUE(adaptive.has_value());
+  EXPECT_EQ(adaptive->kind, BackendKind::kAdaptive);
+  EXPECT_TRUE(adaptive->elimination);
+
+  EXPECT_FALSE(parse_backend_spec("elim+").has_value());
+  EXPECT_FALSE(parse_backend_spec("elim+bogus").has_value());
+  EXPECT_FALSE(parse_backend_spec("bogus").has_value());
+}
+
+TEST(BackendSpec, FactoryComposesTheDecorator) {
+  const auto counter =
+      make_counter(BackendSpec{BackendKind::kCentralAtomic, true});
+  EXPECT_EQ(counter->name(), "elim·central-atomic");
+  EXPECT_NE(dynamic_cast<ElimCounter*>(counter.get()), nullptr);
+}
+
+}  // namespace
+}  // namespace cnet::svc
