@@ -28,30 +28,6 @@ JsonState& json_state() {
   return state;
 }
 
-// Minimal RFC-8259 string escaping; our cell content is numeric-ish but
-// section titles carry commas, quotes would corrupt the file silently.
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 void write_json(std::ostream& os) {
   const auto& state = json_state();
   os << "{\n  \"tables\": [";
@@ -81,6 +57,34 @@ void write_json(std::ostream& os) {
 }
 
 }  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\f': out += "\\f"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        // Remaining C0 controls get the \u00XX form; everything else
+        // (including UTF-8 multibyte sequences) passes through untouched.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 
 ReportOptions ReportOptions::parse(int argc, char** argv) {
   ReportOptions opts;

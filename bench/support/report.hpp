@@ -29,6 +29,12 @@ struct ReportOptions {
   static ReportOptions parse(int argc, char** argv);
 };
 
+// RFC-8259 string escaping for the JSON sink: quotes, backslashes, the
+// short control escapes (\b \t \n \f \r) and \u00XX for every other
+// character below 0x20 — so a check or section name can never emit invalid
+// JSON and silently corrupt the artifact CI gates on. Exposed for tests.
+std::string json_escape(const std::string& s);
+
 // "==== title ====" banner, width-matched to the tables.
 void section(const std::string& title);
 

@@ -1,0 +1,793 @@
+#include "cnet/sim/multicore.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "cnet/core/counting.hpp"
+#include "cnet/svc/policy.hpp"
+#include "cnet/util/ensure.hpp"
+#include "cnet/util/prng.hpp"
+
+namespace cnet::sim {
+
+namespace {
+
+using Done = std::function<void()>;
+using DoneN = std::function<void(std::uint64_t)>;
+
+// ------------------------------------------------------------------ engine
+
+// Minimal deterministic discrete-event executor: events fire in (time,
+// insertion order), so equal-time events replay identically on every host.
+class Engine {
+ public:
+  double now() const noexcept { return now_; }
+
+  void at(double time, std::function<void()> fn) {
+    events_.push(Event{std::max(time, now_), seq_++, std::move(fn)});
+  }
+
+  void run() {
+    while (!events_.empty()) {
+      // Move the handler out from under priority_queue's const top(). The
+      // subsequent pop() re-heapifies by comparing only the trivially
+      // copied time/seq fields, which the move leaves intact — nothing on
+      // the pop path may ever inspect fn.
+      Event ev = std::move(const_cast<Event&>(events_.top()));
+      events_.pop();
+      now_ = ev.time;
+      ev.fn();
+    }
+  }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t seq_ = 0;
+  double now_ = 0.0;
+};
+
+// ------------------------------------------------------------- model base
+
+// Virtual-time counterpart of rt::Counter's pool semantics: increments
+// deposit tokens, decrements claim up to n bounded at zero, and both
+// complete at a later virtual time determined by the backend's servers.
+class CounterModel {
+ public:
+  virtual ~CounterModel() = default;
+
+  virtual void increment_n(std::size_t core, std::uint64_t k, Done done) = 0;
+  virtual void try_decrement_n(std::size_t core, std::uint64_t n,
+                               DoneN done) = 0;
+
+  virtual std::uint64_t stalls() const = 0;
+  virtual std::int64_t pool() const = 0;
+  virtual bool pool_ever_negative() const = 0;
+
+  // Instantaneous pool bookkeeping, used for the initial fill and for the
+  // adaptive model's exact migration at the switch instant.
+  virtual std::uint64_t drain_pool_now() = 0;
+  virtual void inject_pool_now(std::uint64_t k) = 0;
+};
+
+// Shared pool ledger: claims clamp at zero, so a negative balance is a
+// model bug, not a workload outcome — tracked and surfaced as a check.
+class PoolBase : public CounterModel {
+ public:
+  std::int64_t pool() const override { return pool_; }
+  bool pool_ever_negative() const override { return ever_negative_; }
+
+  std::uint64_t drain_pool_now() override {
+    const auto moved = static_cast<std::uint64_t>(std::max<std::int64_t>(
+        pool_, 0));
+    pool_ = 0;
+    return moved;
+  }
+  void inject_pool_now(std::uint64_t k) override {
+    pool_ += static_cast<std::int64_t>(k);
+  }
+
+ protected:
+  void deposit(std::uint64_t k) { pool_ += static_cast<std::int64_t>(k); }
+  std::uint64_t claim(std::uint64_t n) {
+    if (pool_ < 0) ever_negative_ = true;
+    const auto avail =
+        static_cast<std::uint64_t>(std::max<std::int64_t>(pool_, 0));
+    const std::uint64_t got = std::min(n, avail);
+    pool_ -= static_cast<std::int64_t>(got);
+    return got;
+  }
+
+ private:
+  std::int64_t pool_ = 0;
+  bool ever_negative_ = false;
+};
+
+// Service-time draw: fixed, or exponential with the given mean (the same
+// variance argument as bench_tab_throughput_sim — real memory access times
+// are noisy, and the noise is what makes queue depth matter).
+class ServiceDraw {
+ public:
+  ServiceDraw(double mean, bool exponential, util::Xoshiro256& rng)
+      : mean_(mean), exponential_(exponential), rng_(rng) {}
+  double operator()() {
+    if (!exponential_) return mean_;
+    return -mean_ * std::log1p(-rng_.uniform01());
+  }
+
+ private:
+  double mean_;
+  bool exponential_;
+  util::Xoshiro256& rng_;
+};
+
+// ---------------------------------------------------------- central model
+
+// The central word as a single FIFO server. Service time scales with the
+// number of requests already in the system: every additional sharer adds a
+// coherence hop before the RMW lands (for CAS kinds the slope is steeper —
+// failed attempts resubmit). Each arrival that finds requests ahead of it
+// is a stall event, the virtual analogue of Counter::stall_count.
+class CentralModel final : public PoolBase {
+ public:
+  CentralModel(Engine& eng, double slope, ServiceDraw draw)
+      : eng_(eng), slope_(slope), draw_(draw) {}
+
+  void increment_n(std::size_t, std::uint64_t k, Done done) override {
+    // A batch of k is k successive RMWs holding the line.
+    const double t = schedule_rmw(static_cast<double>(k));
+    eng_.at(t, [this, k, done = std::move(done)] {
+      --pending_;
+      deposit(k);
+      done();
+    });
+  }
+
+  void try_decrement_n(std::size_t, std::uint64_t n, DoneN done) override {
+    // One bounded CAS claims the whole remainder (rt::AtomicCounter /
+    // CasCounter take the bulk path in a single word-sized claim).
+    const double t = schedule_rmw(1.0);
+    eng_.at(t, [this, n, done = std::move(done)] {
+      --pending_;
+      done(claim(n));
+    });
+  }
+
+  std::uint64_t stalls() const override { return stalls_; }
+
+ private:
+  double schedule_rmw(double units) {
+    stalls_ += pending_;  // every request ahead of us is a coherence stall
+    const double start = std::max(eng_.now(), free_);
+    // draw_() carries the kind's mean RMW time; the slope term lengthens it
+    // by a fraction per request already contending for the line.
+    const double service =
+        units * draw_() * (1.0 + slope_ * static_cast<double>(pending_));
+    ++pending_;
+    free_ = start + service;
+    return free_;
+  }
+
+  Engine& eng_;
+  double slope_;
+  ServiceDraw draw_;
+  std::uint64_t pending_ = 0;  // requests queued or in service
+  double free_ = 0.0;          // time the server next goes idle
+  std::uint64_t stalls_ = 0;
+};
+
+// ---------------------------------------------------------- network model
+
+// The counting network as per-balancer FIFO servers over the real
+// topology, exactly simulate_timed's machinery re-hosted behind the
+// CounterModel interface: tokens (increments) and antitokens (bounded
+// decrements) traverse balancer by balancer, queueing when a server is
+// busy; each queued arrival is a stall event. A traversal carries a
+// payload of up to batch_k tokens (1 for the per-token backend), which is
+// the batched backend's whole advantage.
+class NetworkModel final : public PoolBase {
+ public:
+  NetworkModel(Engine& eng, const topo::Topology& net, double wire_delay,
+               std::size_t batch_k, ServiceDraw draw)
+      : eng_(eng), wire_(wire_delay), batch_k_(batch_k), draw_(draw) {
+    compile(net);
+  }
+
+  void increment_n(std::size_t core, std::uint64_t k, Done done) override {
+    if (k == 0) {
+      eng_.at(eng_.now(), std::move(done));
+      return;
+    }
+    const auto chunk = static_cast<std::uint64_t>(
+        std::min<std::uint64_t>(k, batch_k_));
+    // Sequential chunked traversals: the issuing core's thread walks the
+    // network once per chunk, exactly like the real batch loop.
+    inject(core, [this, core, k, chunk, done = std::move(done)]() mutable {
+      deposit(chunk);
+      increment_n(core, k - chunk, std::move(done));
+    });
+  }
+
+  void try_decrement_n(std::size_t core, std::uint64_t n,
+                       DoneN done) override {
+    // One antitoken traversal; the claim happens at the exit cell, bounded
+    // by what the pool holds at that instant.
+    inject(core, [this, n, done = std::move(done)] { done(claim(n)); });
+  }
+
+  std::uint64_t stalls() const override { return stalls_; }
+
+ private:
+  struct Target {
+    bool is_output = false;
+    std::uint32_t index = 0;
+  };
+  struct Balancer {
+    bool busy = false;
+    std::uint32_t state = 0;
+    std::deque<Done> waiting;  // continuations of queued tokens
+  };
+
+  void compile(const topo::Topology& net) {
+    const std::size_t nb = net.num_balancers();
+    bals_.resize(nb);
+    fanout_.resize(nb);
+    route_base_.resize(nb);
+    std::size_t total_ports = 0;
+    for (std::uint32_t b = 0; b < nb; ++b) {
+      const auto& bal = net.balancer(topo::BalancerId{b});
+      fanout_[b] = static_cast<std::uint32_t>(bal.fan_out());
+      route_base_[b] = static_cast<std::uint32_t>(total_ports);
+      total_ports += bal.fan_out();
+    }
+    route_.resize(total_ports);
+    auto target_of = [&](topo::WireId wire) {
+      const auto& end = net.consumer(wire);
+      if (end.kind == topo::WireEnd::Kind::kNetworkOutput) {
+        return Target{true, end.port};
+      }
+      return Target{false, end.balancer.value};
+    };
+    for (std::uint32_t b = 0; b < nb; ++b) {
+      const auto& bal = net.balancer(topo::BalancerId{b});
+      for (std::size_t port = 0; port < bal.fan_out(); ++port) {
+        route_[route_base_[b] + port] = target_of(bal.outputs[port]);
+      }
+    }
+    entry_.reserve(net.width_in());
+    for (const topo::WireId in : net.input_wires()) {
+      entry_.push_back(target_of(in));
+    }
+  }
+
+  // Launch one traversal from the core's entry wire; on_exit runs at the
+  // virtual time the token leaves the network.
+  void inject(std::size_t core, Done on_exit) {
+    const Target& e = entry_[core % entry_.size()];
+    if (e.is_output) {
+      eng_.at(eng_.now(), std::move(on_exit));
+      return;
+    }
+    arrive(e.index, std::move(on_exit));
+  }
+
+  void arrive(std::uint32_t b, Done on_exit) {
+    Balancer& bal = bals_[b];
+    if (bal.busy) {
+      ++stalls_;
+      bal.waiting.push_back(std::move(on_exit));
+      return;
+    }
+    bal.busy = true;
+    start_service(b, std::move(on_exit));
+  }
+
+  void start_service(std::uint32_t b, Done on_exit) {
+    eng_.at(eng_.now() + draw_(),
+            [this, b, on_exit = std::move(on_exit)]() mutable {
+              complete(b, std::move(on_exit));
+            });
+  }
+
+  void complete(std::uint32_t b, Done on_exit) {
+    Balancer& bal = bals_[b];
+    const std::uint32_t port = bal.state;
+    bal.state = (bal.state + 1) % fanout_[b];
+    const Target& next = route_[route_base_[b] + port];
+    if (next.is_output) {
+      eng_.at(eng_.now() + wire_, std::move(on_exit));
+    } else {
+      const std::uint32_t nb = next.index;
+      eng_.at(eng_.now() + wire_,
+              [this, nb, on_exit = std::move(on_exit)]() mutable {
+                arrive(nb, std::move(on_exit));
+              });
+    }
+    if (bal.waiting.empty()) {
+      bal.busy = false;
+    } else {
+      Done waiter = std::move(bal.waiting.front());
+      bal.waiting.pop_front();
+      start_service(b, std::move(waiter));
+    }
+  }
+
+  Engine& eng_;
+  double wire_;
+  std::size_t batch_k_;
+  ServiceDraw draw_;
+  std::vector<Balancer> bals_;
+  std::vector<std::uint32_t> fanout_, route_base_;
+  std::vector<Target> route_;
+  std::vector<Target> entry_;
+  std::uint64_t stalls_ = 0;
+};
+
+// ------------------------------------------------------- elimination model
+
+// EliminationLayer in virtual time: the same slot state machine (empty /
+// waiting-inc / waiting-dec, epoch bumped on every return to empty) run by
+// the deterministic executor instead of CASes. Single-token ops deposit and
+// wait elim_wait before withdrawing to the backend; bulk ops catch already-
+// waiting partners only — the exact call-path split of the real
+// ElimCounter. Pair values come from the shared svc::elimination_pair_value
+// rule, so model and real multisets cancel identically.
+class ElimModel final : public CounterModel {
+ public:
+  ElimModel(Engine& eng, std::unique_ptr<CounterModel> inner,
+            std::size_t slots, double exchange_time, double inc_wait,
+            double dec_wait, util::Xoshiro256& rng)
+      : eng_(eng),
+        inner_(std::move(inner)),
+        slots_(slots),
+        exchange_(exchange_time),
+        inc_wait_(inc_wait),
+        dec_wait_(dec_wait),
+        rng_(rng) {
+    CNET_REQUIRE(slots > 0, "at least one elimination slot");
+  }
+
+  void increment_n(std::size_t core, std::uint64_t k, Done done) override {
+    // Catch pass (any k): hand tokens to already-waiting decrements.
+    std::uint64_t remaining = k;
+    while (remaining > 0 && catch_partner(Role::kDec)) --remaining;
+    if (remaining == 0) {
+      eng_.at(eng_.now() + exchange_, std::move(done));
+      return;
+    }
+    if (remaining == 1 && k == 1) {
+      // Single-op path: deposit and wait for a partner decrement. `done` is
+      // passed as a copy so the fall-through below stays valid on a full
+      // slot array.
+      if (try_deposit(Role::kInc, core, /*k=*/1, done)) return;
+    }
+    inner_->increment_n(core, remaining, std::move(done));
+  }
+
+  void try_decrement_n(std::size_t core, std::uint64_t n,
+                       DoneN done) override {
+    std::uint64_t got = 0;
+    while (got < n && catch_partner(Role::kInc)) ++got;
+    if (got == n) {
+      eng_.at(eng_.now() + exchange_,
+              [got, done = std::move(done)] { done(got); });
+      return;
+    }
+    if (n == 1 && got == 0) {
+      // Single-op path: deposit; a catching increment completes us with one
+      // token (the pairing continuation already runs exchange_time after
+      // the catch), the withdrawal falls through to the backend.
+      auto fulfilled = [done](std::int64_t /*pair value*/) { done(1); };
+      auto withdrawn = [this, core, done] {
+        inner_->try_decrement_n(core, 1, done);
+      };
+      if (deposit(Role::kDec, std::move(fulfilled), std::move(withdrawn))) {
+        return;
+      }
+      inner_->try_decrement_n(core, 1, std::move(done));
+      return;
+    }
+    const std::uint64_t caught = got;
+    if (caught == 0) {
+      inner_->try_decrement_n(core, n, std::move(done));
+      return;
+    }
+    inner_->try_decrement_n(
+        core, n - caught,
+        [caught, done = std::move(done)](std::uint64_t inner_got) {
+          done(caught + inner_got);
+        });
+  }
+
+  std::uint64_t stalls() const override { return inner_->stalls(); }
+  std::int64_t pool() const override { return inner_->pool(); }
+  bool pool_ever_negative() const override {
+    return inner_->pool_ever_negative();
+  }
+  std::uint64_t drain_pool_now() override { return inner_->drain_pool_now(); }
+  void inject_pool_now(std::uint64_t k) override {
+    inner_->inject_pool_now(k);
+  }
+
+  std::uint64_t pairs() const { return pairs_; }
+  std::uint64_t withdrawals() const { return withdrawals_; }
+  std::int64_t value_sum() const { return value_sum_; }
+
+ private:
+  enum class Role : std::uint8_t { kInc, kDec };
+  struct Slot {
+    enum class State : std::uint8_t { kEmpty, kWaitInc, kWaitDec } state =
+        State::kEmpty;
+    std::uint64_t epoch = 0;
+    // Waiter continuations: on_pair runs when an opposite role catches the
+    // slot, on_withdraw when the deposit window expires first.
+    std::function<void(std::int64_t)> on_pair;
+  };
+
+  // Finds a waiter of `role` and pairs with it: the waiter's continuation
+  // fires exchange_ later, the slot returns to empty with a bumped epoch.
+  bool catch_partner(Role role) {
+    const auto want = role == Role::kInc ? Slot::State::kWaitInc
+                                         : Slot::State::kWaitDec;
+    const std::size_t start = static_cast<std::size_t>(
+        rng_.below(static_cast<std::uint64_t>(slots_.size())));
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const std::size_t s = (start + i) % slots_.size();
+      Slot& slot = slots_[s];
+      if (slot.state != want) continue;
+      const std::int64_t value = svc::elimination_pair_value(
+          slots_.size(), s, slot.epoch);
+      ++pairs_;
+      value_sum_ += value;
+      auto on_pair = std::move(slot.on_pair);
+      slot.state = Slot::State::kEmpty;
+      slot.on_pair = nullptr;
+      ++slot.epoch;
+      const double at = eng_.now() + exchange_;
+      eng_.at(at, [value, on_pair = std::move(on_pair)] { on_pair(value); });
+      return true;
+    }
+    return false;
+  }
+
+  // Deposits a waiter; schedules the withdrawal at the deposit window's
+  // end (per-role windows mirror the real inc_spins/dec_spins asymmetry:
+  // increments wait long, decrements only briefly). Returns false when
+  // every slot is occupied (fall through).
+  bool deposit(Role role, std::function<void(std::int64_t)> on_pair,
+               Done on_withdraw) {
+    const std::size_t start = static_cast<std::size_t>(
+        rng_.below(static_cast<std::uint64_t>(slots_.size())));
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const std::size_t s = (start + i) % slots_.size();
+      Slot& slot = slots_[s];
+      if (slot.state != Slot::State::kEmpty) continue;
+      slot.state = role == Role::kInc ? Slot::State::kWaitInc
+                                      : Slot::State::kWaitDec;
+      slot.on_pair = std::move(on_pair);
+      const std::uint64_t epoch = slot.epoch;
+      eng_.at(eng_.now() + (role == Role::kInc ? inc_wait_ : dec_wait_),
+              [this, s, epoch, on_withdraw = std::move(on_withdraw)] {
+                Slot& sl = slots_[s];
+                if (sl.epoch != epoch ||
+                    sl.state == Slot::State::kEmpty) {
+                  return;  // already paired; the pairing continuation ran
+                }
+                sl.state = Slot::State::kEmpty;
+                sl.on_pair = nullptr;
+                ++sl.epoch;
+                ++withdrawals_;
+                on_withdraw();
+              });
+      return true;
+    }
+    return false;
+  }
+
+  // Single-increment deposit: on pairing the increment op completes (its
+  // token went straight to the paired decrement); on withdrawal the token
+  // goes to the backend.
+  bool try_deposit(Role role, std::size_t core, std::uint64_t k,
+                   const Done& done) {
+    auto fulfilled = [done](std::int64_t) { done(); };
+    auto withdrawn = [this, core, k, done] {
+      inner_->increment_n(core, k, done);
+    };
+    return deposit(role, std::move(fulfilled), std::move(withdrawn));
+  }
+
+  Engine& eng_;
+  std::unique_ptr<CounterModel> inner_;
+  std::vector<Slot> slots_;
+  double exchange_;
+  double inc_wait_;
+  double dec_wait_;
+  util::Xoshiro256& rng_;
+  std::uint64_t pairs_ = 0;
+  std::uint64_t withdrawals_ = 0;
+  std::int64_t value_sum_ = 0;
+};
+
+// --------------------------------------------------------- adaptive model
+
+// AdaptiveCounter in virtual time: ops run on the cold central model until
+// a sampled window of simulated stall events crosses the shared
+// svc::should_switch rule; the switch migrates the remaining pool into the
+// hot batched-network model at that exact virtual instant. Sampling
+// mirrors LoadStats (boundary crossing on the op tally) with the
+// single-threaded executor standing in for the sampler claim.
+class AdaptiveModel final : public CounterModel {
+ public:
+  AdaptiveModel(std::unique_ptr<CounterModel> cold,
+                std::unique_ptr<CounterModel> hot, Engine& eng,
+                const svc::AdaptiveTuning& tuning)
+      : cold_(std::move(cold)),
+        hot_(std::move(hot)),
+        eng_(eng),
+        tuning_(tuning) {}
+
+  void increment_n(std::size_t core, std::uint64_t k, Done done) override {
+    active().increment_n(core, k, [this, k, done = std::move(done)] {
+      after_ops(k);
+      done();
+    });
+  }
+
+  void try_decrement_n(std::size_t core, std::uint64_t n,
+                       DoneN done) override {
+    active().try_decrement_n(
+        core, n, [this, done = std::move(done)](std::uint64_t got) {
+          // Same charging rule as the fixed AdaptiveCounter: tokens
+          // actually transferred, minimum one for the attempt.
+          after_ops(std::max<std::uint64_t>(got, 1));
+          done(got);
+        });
+  }
+
+  std::uint64_t stalls() const override {
+    return cold_->stalls() + hot_->stalls();
+  }
+  std::int64_t pool() const override {
+    return cold_->pool() + hot_->pool();
+  }
+  bool pool_ever_negative() const override {
+    return cold_->pool_ever_negative() || hot_->pool_ever_negative();
+  }
+  std::uint64_t drain_pool_now() override {
+    return cold_->drain_pool_now() + hot_->drain_pool_now();
+  }
+  void inject_pool_now(std::uint64_t k) override {
+    active().inject_pool_now(k);
+  }
+
+  bool switched() const { return switched_; }
+  double switch_time() const { return switch_time_; }
+  std::uint64_t ops_at_switch() const { return ops_at_switch_; }
+
+ private:
+  CounterModel& active() { return switched_ ? *hot_ : *cold_; }
+
+  void after_ops(std::uint64_t n) {
+    if (switched_) {
+      // Ops that were already in flight on the cold model at the switch
+      // instant may still deposit there (a queued bulk refill completing
+      // late). The real AdaptiveCounter waits for reader quiescence before
+      // its one-shot drain; the event-driven analogue is to sweep any cold
+      // remainder as each straggler completes — once the last in-flight
+      // cold op lands, the cold pool is empty for good and no token is
+      // stranded.
+      const std::uint64_t left = cold_->drain_pool_now();
+      if (left > 0) hot_->inject_pool_now(left);
+      return;
+    }
+    const std::uint64_t before = ops_;
+    ops_ += n;
+    if (before / tuning_.sample_interval == ops_ / tuning_.sample_interval) {
+      return;  // no sample boundary crossed
+    }
+    const svc::LoadWindow window{ops_ - last_ops_,
+                                 cold_->stalls() - last_events_};
+    last_ops_ = ops_;
+    last_events_ = cold_->stalls();
+    if (!svc::should_switch(window, tuning_)) return;
+    switched_ = true;
+    switch_time_ = eng_.now();
+    ops_at_switch_ = ops_;
+    hot_->inject_pool_now(cold_->drain_pool_now());  // exact migration
+  }
+
+  std::unique_ptr<CounterModel> cold_, hot_;
+  Engine& eng_;
+  svc::AdaptiveTuning tuning_;
+  bool switched_ = false;
+  double switch_time_ = -1.0;
+  std::uint64_t ops_ = 0, ops_at_switch_ = 0;
+  std::uint64_t last_ops_ = 0, last_events_ = 0;
+};
+
+// ----------------------------------------------------------------- driver
+
+struct ModelStack {
+  std::unique_ptr<CounterModel> root;
+  // Non-owning views into the stack for stats extraction.
+  ElimModel* elim = nullptr;
+  AdaptiveModel* adaptive = nullptr;
+};
+
+std::unique_ptr<CounterModel> make_backend_model(svc::BackendKind kind,
+                                                 Engine& eng,
+                                                 const MulticoreConfig& cfg,
+                                                 util::Xoshiro256& rng,
+                                                 AdaptiveModel** adaptive) {
+  const auto draw = [&](double mean) {
+    return ServiceDraw(mean, cfg.exponential_service, rng);
+  };
+  const auto network = [&](std::size_t batch_k) {
+    return std::make_unique<NetworkModel>(
+        eng, core::make_counting(cfg.net.width_in, cfg.net.width_out),
+        cfg.wire_delay, batch_k, draw(cfg.balancer_service));
+  };
+  switch (kind) {
+    case svc::BackendKind::kCentralAtomic:
+      return std::make_unique<CentralModel>(eng, cfg.central_slope,
+                                            draw(cfg.central_service));
+    case svc::BackendKind::kCentralCas:
+      return std::make_unique<CentralModel>(eng, cfg.cas_slope,
+                                            draw(cfg.central_service));
+    case svc::BackendKind::kCentralMutex:
+      return std::make_unique<CentralModel>(eng, cfg.mutex_slope,
+                                            draw(cfg.mutex_service));
+    case svc::BackendKind::kNetwork:
+      return network(1);
+    case svc::BackendKind::kBatchedNetwork:
+      return network(cfg.batch_k);
+    case svc::BackendKind::kAdaptive: {
+      auto cold = std::make_unique<CentralModel>(eng, cfg.central_slope,
+                                                 draw(cfg.central_service));
+      auto model = std::make_unique<AdaptiveModel>(
+          std::move(cold), network(cfg.batch_k), eng, cfg.tuning);
+      if (adaptive != nullptr) *adaptive = model.get();
+      return model;
+    }
+  }
+  return nullptr;
+}
+
+ModelStack make_model(const svc::BackendSpec& spec, Engine& eng,
+                      const MulticoreConfig& cfg, util::Xoshiro256& rng) {
+  ModelStack stack;
+  stack.root =
+      make_backend_model(spec.kind, eng, cfg, rng, &stack.adaptive);
+  CNET_REQUIRE(stack.root != nullptr, "unknown backend kind");
+  if (spec.elimination) {
+    auto elim = std::make_unique<ElimModel>(
+        eng, std::move(stack.root), cfg.elim_slots, cfg.exchange_time,
+        cfg.elim_inc_wait, cfg.elim_dec_wait, rng);
+    stack.elim = elim.get();
+    stack.root = std::move(elim);
+  }
+  return stack;
+}
+
+}  // namespace
+
+std::vector<svc::BackendSpec> multicore_sweep_specs() {
+  std::vector<svc::BackendSpec> specs;
+  for (const auto kind : svc::kPoolBackendKinds) {
+    specs.push_back({kind, false});
+  }
+  specs.push_back({svc::BackendKind::kCentralAtomic, true});
+  specs.push_back({svc::BackendKind::kBatchedNetwork, true});
+  return specs;
+}
+
+MulticoreResult simulate_multicore(const svc::BackendSpec& spec,
+                                   const MulticoreConfig& cfg) {
+  CNET_REQUIRE(cfg.cores >= 1, "need at least one simulated core");
+  CNET_REQUIRE(cfg.ops_per_core >= 1, "need at least one op per core");
+  CNET_REQUIRE(cfg.refill_every >= 1, "refill cadence must be positive");
+  CNET_REQUIRE(cfg.think_time >= 0.0 && cfg.wire_delay >= 0.0,
+               "delays must be nonnegative");
+
+  Engine eng;
+  util::Xoshiro256 rng(cfg.seed);
+  ModelStack stack = make_model(spec, eng, cfg, rng);
+  CounterModel& model = *stack.root;
+
+  MulticoreResult res;
+  res.initial_tokens = cfg.initial_tokens_per_core * cfg.cores;
+  model.inject_pool_now(res.initial_tokens);
+
+  // The Table B workload, one closed loop per core: consume(1) through the
+  // shared svc::bucket_consume plan, a bulk refill every refill_every
+  // consumes, think_time between ops.
+  struct CoreState {
+    std::size_t ops_done = 0;
+    std::size_t since_refill = 0;
+  };
+  std::vector<CoreState> cores(cfg.cores);
+  double makespan = 0.0;
+
+  // Declared std::function for self-reference (each completion schedules
+  // the core's next op).
+  std::function<void(std::size_t)> step = [&](std::size_t c) {
+    CoreState& core = cores[c];
+    if (core.ops_done == cfg.ops_per_core) return;
+    // consume(1): the single-token plan degenerates to one bounded claim —
+    // run through bucket_consume so the simulator exercises the identical
+    // policy the real NetTokenBucket does.
+    model.try_decrement_n(c, 1, [&, c](std::uint64_t got) {
+      const std::uint64_t granted = svc::bucket_consume(
+          1, /*allow_partial=*/true,
+          [got](std::uint64_t) mutable {
+            return std::exchange(got, std::uint64_t{0});
+          },
+          [](std::uint64_t) {});
+      CoreState& me = cores[c];
+      ++res.consume_ops;
+      ++me.ops_done;
+      res.consumed += granted;
+      if (granted == 0) ++res.rejected;
+      makespan = std::max(makespan, eng.now());
+      const bool refill_due = ++me.since_refill == cfg.refill_every;
+      if (refill_due) me.since_refill = 0;
+      const double next_at = eng.now() + cfg.think_time;
+      if (refill_due) {
+        model.increment_n(c, cfg.refill_every, [&, c, next_at] {
+          res.refilled += cfg.refill_every;
+          makespan = std::max(makespan, eng.now());
+          eng.at(std::max(next_at, eng.now()), [&, c] { step(c); });
+        });
+      } else {
+        eng.at(next_at, [&, c] { step(c); });
+      }
+    });
+  };
+
+  for (std::size_t c = 0; c < cfg.cores; ++c) step(c);
+  eng.run();
+
+  res.makespan = makespan;
+  res.ops_per_vtime =
+      static_cast<double>(res.consume_ops) / std::max(makespan, 1e-12);
+  res.stall_events = model.stalls();
+  res.final_pool = model.pool();
+  res.conserved =
+      !model.pool_ever_negative() && res.final_pool >= 0 &&
+      res.consumed + static_cast<std::uint64_t>(res.final_pool) ==
+          res.refilled + res.initial_tokens;
+  if (stack.elim != nullptr) {
+    res.elim_pairs = stack.elim->pairs();
+    res.elim_withdrawals = stack.elim->withdrawals();
+    res.elim_value_sum = stack.elim->value_sum();
+  }
+  if (stack.adaptive != nullptr) {
+    res.switched = stack.adaptive->switched();
+    res.switch_time = stack.adaptive->switch_time();
+    res.ops_at_switch = stack.adaptive->ops_at_switch();
+  }
+
+  // Every core must have completed its loop (the event queue drains only
+  // when no completion is pending).
+  for (const CoreState& core : cores) {
+    CNET_ENSURE(core.ops_done == cfg.ops_per_core,
+                "simulated core finished early");
+  }
+  return res;
+}
+
+}  // namespace cnet::sim

@@ -1,0 +1,125 @@
+// Virtual-time multicore simulator for the service layer (the answer to
+// "Table B needs real cores"): P simulated cores drive model counterparts
+// of the svc-layer state machines through a discrete-event executor, so the
+// paper's central-vs-network scaling claims — and PR 3's adaptive switch
+// and elimination hit-rates — become deterministic, CI-checkable numbers on
+// a 1-vCPU box. Same methodology as the simulation side of the study the
+// paper cites ([19,20]) and as sim::simulate_timed, extended from bare
+// token traversals up to the composed service stack.
+//
+// Model inventory (each is the virtual-time mirror of a real component,
+// sharing its decision logic through svc/policy.hpp rather than
+// reimplementing it):
+//   - central atomic word  -> one FIFO server whose service time grows with
+//     the number of requests already queued (cache-line ownership
+//     migration: every extra sharer lengthens the RMW);
+//   - counting network     -> simulate_timed's per-balancer FIFO servers
+//     over the real topo::Topology, tokens and antitokens traversing wires
+//     with delay; the batched backend carries up to batch_k tokens per
+//     traversal;
+//   - EliminationLayer     -> exchange slots in virtual time: a depositing
+//     op waits elim_wait before withdrawing, an opposite-role arrival
+//     pairs with it (value from svc::elimination_pair_value) and neither
+//     touches the backend;
+//   - NetTokenBucket       -> the pool count driven through
+//     svc::bucket_consume, bounded at zero at every event;
+//   - AdaptiveCounter      -> cold central / hot batched-network pair whose
+//     switch fires off svc::should_switch over windows of simulated stall
+//     events, migrating the pool exactly at the switch instant.
+//
+// The workload mirrors bench_tab_svc Table B: each core runs a closed loop
+// of consume(1) ops, topping the pool up with a bulk refill every
+// refill_every consumes. Everything is deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cnet/svc/backend.hpp"
+
+namespace cnet::sim {
+
+struct MulticoreConfig {
+  std::size_t cores = 8;            // P simulated cores
+  std::size_t ops_per_core = 4096;  // consume(1) ops each core performs
+  std::size_t refill_every = 256;   // bulk refill cadence (tokens per refill)
+  std::uint64_t initial_tokens_per_core = 256;
+  double think_time = 0.2;  // virtual pause between a core's ops
+
+  // Central-word model parameters, per backend kind. service is the
+  // uncontended RMW time; slope is the extra fraction per request already
+  // queued on the line (atomic: coherence migration only; CAS: failed
+  // retries resubmit; mutex: heavier base cost).
+  double central_service = 1.0;
+  double central_slope = 0.08;
+  double cas_slope = 0.18;
+  double mutex_service = 1.6;
+  double mutex_slope = 0.10;
+
+  // Network model: per-balancer service time and wire delay, applied to the
+  // real C(width_in, width_out) topology from `net`.
+  double balancer_service = 1.0;
+  double wire_delay = 0.2;
+  std::size_t batch_k = 64;  // tokens per batched-network traversal
+
+  // Elimination model (mirrors EliminationLayer::Config in virtual time;
+  // the per-role deposit windows mirror ElimCounter's inc_spins=512 /
+  // dec_spins=64 asymmetry).
+  std::size_t elim_slots = 8;
+  double exchange_time = 0.5;   // paired completion cost
+  double elim_inc_wait = 4.0;   // increment deposit window before withdrawal
+  double elim_dec_wait = 0.5;   // decrement deposit window
+
+  // Adaptive model: decided by svc::should_switch, same rule as the real
+  // AdaptiveCounter. Defaults are smaller than the live-thread defaults so
+  // modest simulated runs can still cross a window.
+  svc::AdaptiveTuning tuning{/*sample_interval=*/512,
+                             /*min_window_ops=*/512,
+                             /*stall_rate_threshold=*/0.05};
+
+  // Shape of the counting network behind the network-backed kinds.
+  svc::BackendConfig net;
+
+  bool exponential_service = false;  // exp-distributed service draws
+  std::uint64_t seed = 1998;
+};
+
+struct MulticoreResult {
+  double makespan = 0.0;       // virtual time when the last core finishes
+  double ops_per_vtime = 0.0;  // consume ops per unit virtual time
+  std::uint64_t consume_ops = 0;
+  std::uint64_t consumed = 0;  // tokens actually granted
+  std::uint64_t rejected = 0;  // consume ops that found the pool empty
+  std::uint64_t refilled = 0;  // tokens pushed by refill ops
+  std::uint64_t initial_tokens = 0;
+  std::uint64_t stall_events = 0;  // queueing events across all servers
+  std::int64_t final_pool = 0;
+  // consumed + final_pool == refilled + initial_tokens, and no model pool
+  // ever went negative — checked at every claim, reported here.
+  bool conserved = false;
+
+  // Elimination model outcome (zero unless the spec has the front-end).
+  std::uint64_t elim_pairs = 0;
+  std::uint64_t elim_withdrawals = 0;
+  // Sum of the synthesized pair values (negative), from the shared
+  // svc::elimination_pair_value rule — pins model/real value agreement.
+  std::int64_t elim_value_sum = 0;
+
+  // Adaptive model outcome (meaningful only for kAdaptive specs).
+  bool switched = false;
+  double switch_time = -1.0;       // virtual time of the organic switch
+  std::uint64_t ops_at_switch = 0; // ops completed when the window crossed
+};
+
+// One-shot simulation of `spec` under `cfg`. Deterministic: the same spec,
+// config, and seed produce bit-identical results on any host.
+MulticoreResult simulate_multicore(const svc::BackendSpec& spec,
+                                   const MulticoreConfig& cfg);
+
+// The Table B' sweep axis, shared by bench_tab_svc_sim and the sim tests
+// so they can never drift apart: every pool-capable kind plain, plus the
+// elimination front-end on the two bookend backends (central word and
+// batched network).
+std::vector<svc::BackendSpec> multicore_sweep_specs();
+
+}  // namespace cnet::sim

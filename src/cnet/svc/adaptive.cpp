@@ -68,7 +68,11 @@ std::uint64_t AdaptiveCounter::try_fetch_decrement_n(std::size_t thread_hint,
   const std::uint64_t got = with_active(thread_hint, [&](rt::Counter& c) {
     return c.try_fetch_decrement_n(thread_hint, n);
   });
-  after_ops(thread_hint, 1);
+  // Charge the tokens actually transferred (minimum one for the attempt),
+  // mirroring the batch-increment path's per-token charge: a bulk consume
+  // of 64 is 64 ops of load, not one, and undercounting it inflates the
+  // observed stall rate into spurious switches.
+  after_ops(thread_hint, std::max<std::uint64_t>(got, 1));
   return got;
 }
 
@@ -80,10 +84,12 @@ std::string AdaptiveCounter::name() const {
 void AdaptiveCounter::after_ops(std::size_t thread_hint, std::uint64_t n) {
   if (switched_.load(std::memory_order_relaxed)) return;  // one-way switch
   if (!stats_.record_ops(thread_hint, n)) return;
-  const auto window = stats_.sample(cold_->stall_count());
+  // The stall total is read *inside* sample(), after the sampler claim is
+  // won — a total captured out here could predate a concurrent sampler's
+  // window and underflow into a spurious switch.
+  const auto window = stats_.sample([this] { return cold_->stall_count(); });
   if (!window) return;  // another thread holds the sampler
-  if (window->ops < cfg_.tuning.min_window_ops) return;
-  if (window->event_rate() < cfg_.tuning.stall_rate_threshold) return;
+  if (!should_switch(*window, cfg_.tuning)) return;
   do_switch(thread_hint);
 }
 

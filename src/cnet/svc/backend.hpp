@@ -16,6 +16,7 @@
 #include "cnet/runtime/compiled_network.hpp"
 #include "cnet/runtime/counter.hpp"
 #include "cnet/svc/elimination.hpp"
+#include "cnet/svc/policy.hpp"
 
 namespace cnet::svc {
 
@@ -47,15 +48,8 @@ inline constexpr BackendKind kPoolBackendKinds[] = {
     BackendKind::kBatchedNetwork, BackendKind::kAdaptive,
 };
 
-// Switch tuning for kAdaptive (see svc::AdaptiveCounter for the machinery).
-struct AdaptiveTuning {
-  // Per-slot ops between LoadStats probes.
-  std::uint64_t sample_interval = 2048;
-  // Windows smaller than this never trigger (startup noise guard).
-  std::uint64_t min_window_ops = 4096;
-  // Stalls per op in one window that trigger the central→network swap.
-  double stall_rate_threshold = 0.05;
-};
+// AdaptiveTuning (the kAdaptive switch knobs) lives in svc/policy.hpp with
+// the rest of the shared decision logic.
 
 // Shape of the counting network behind the network-backed kinds; ignored by
 // the central ones. Defaults to the repo's workhorse C(8,24) = C(w, w·lg w).

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cnet/runtime/counter.hpp"
+#include "cnet/svc/policy.hpp"
 #include "cnet/util/cacheline.hpp"
 #include "cnet/util/stall_slots.hpp"
 
@@ -75,13 +76,15 @@ class EliminationLayer {
   // Slot word layout: low 2 bits = state, high 62 bits = epoch. The epoch
   // advances whenever the slot returns to empty (withdrawal or pair
   // completion), which (a) kills ABA on the catcher's CAS and (b) names the
-  // pairing: value = -1 - (epoch · slots + slot), unique per collision.
+  // pairing via the shared svc::elimination_pair_value rule, unique per
+  // collision (the simulator's elimination model synthesizes the same
+  // values, so model and real multisets cancel identically).
   struct alignas(util::kCacheLine) Slot {
     std::atomic<std::uint64_t> word{0};
   };
 
   std::int64_t pair_value(std::size_t slot, std::uint64_t epoch) const {
-    return -1 - static_cast<std::int64_t>(epoch * cfg_.slots + slot);
+    return elimination_pair_value(cfg_.slots, slot, epoch);
   }
 
   Config cfg_;

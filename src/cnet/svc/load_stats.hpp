@@ -5,10 +5,13 @@
 // only run on the sampled (1/N) calls.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <optional>
+#include <type_traits>
 
+#include "cnet/svc/policy.hpp"
 #include "cnet/util/ensure.hpp"
 #include "cnet/util/stall_slots.hpp"
 
@@ -31,34 +34,43 @@ class LoadStats {
 
   std::uint64_t ops() const noexcept { return ops_.total(); }
 
-  // One observation window: ops completed and contention events (stalls,
-  // CAS retries — whatever total the caller feeds in) since the previous
-  // successful sample.
-  struct Window {
-    std::uint64_t ops = 0;
-    std::uint64_t events = 0;
-    double event_rate() const noexcept {
-      return ops == 0 ? 0.0 : static_cast<double>(events) /
-                                  static_cast<double>(ops);
-    }
-  };
+  // One observation window (shared with the simulator's policy layer):
+  // ops completed and contention events since the previous sample.
+  using Window = LoadWindow;
 
-  // Claims the sampler and returns the delta window against
-  // `total_events_now` (the caller's current lifetime event total, e.g.
-  // Counter::stall_count()). Returns nullopt when another thread holds the
+  // Claims the sampler, reads the caller's lifetime event total *after* the
+  // claim is won (via `total_events_fn`, e.g. Counter::stall_count), and
+  // returns the delta window. Returns nullopt when another thread holds the
   // sampler — concurrent triggers just skip, the next boundary retries.
-  std::optional<Window> sample(std::uint64_t total_events_now) noexcept {
+  //
+  // Reading the total only after winning the claim is what makes the window
+  // sound: a total captured before the claim can predate another sampler's
+  // update of last_events_, and the stale delta would wrap to ~2^64.
+  template <class EventTotalFn,
+            std::enable_if_t<std::is_invocable_v<EventTotalFn>, int> = 0>
+  std::optional<Window> sample(EventTotalFn&& total_events_fn) noexcept {
     bool expected = false;
     if (!sampling_.compare_exchange_strong(expected, true,
                                            std::memory_order_acquire)) {
       return std::nullopt;
     }
     const std::uint64_t ops_now = ops_.total();
-    Window window{ops_now - last_ops_, total_events_now - last_events_};
-    last_ops_ = ops_now;
-    last_events_ = total_events_now;
+    const std::uint64_t events_now = total_events_fn();
+    Window window{ops_now >= last_ops_ ? ops_now - last_ops_ : 0,
+                  events_now >= last_events_ ? events_now - last_events_ : 0};
+    last_ops_ = std::max(last_ops_, ops_now);
+    last_events_ = std::max(last_events_, events_now);
     sampling_.store(false, std::memory_order_release);
     return window;
+  }
+
+  // Pre-captured-total form. The caller read its event total before (or
+  // without) claiming the sampler, so the total may be stale relative to
+  // last_events_; the clamp above turns that staleness into an empty window
+  // instead of an underflowed one. Prefer the callable form when the total
+  // is cheap to re-read.
+  std::optional<Window> sample(std::uint64_t total_events_now) noexcept {
+    return sample([total_events_now] { return total_events_now; });
   }
 
  private:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cnet/svc/policy.hpp"
 #include "cnet/util/ensure.hpp"
 
 namespace cnet::svc {
@@ -31,24 +32,19 @@ std::uint64_t NetTokenBucket::consume(std::size_t thread_hint,
     // consumes can pair with a racing batch refill.
     return pool_->try_fetch_decrement(thread_hint) ? 1 : 0;
   }
-  std::uint64_t got = 0;
-  while (got < tokens) {
-    // Bulk claims: central backends take the whole remainder in one CAS,
-    // network backends in one antitoken traversal + block cell claims. A
-    // zero return is conclusive — the pool was observably empty — so no
-    // retry loop is needed.
-    const std::uint64_t grabbed =
-        pool_->try_fetch_decrement_n(thread_hint, tokens - got);
-    if (grabbed == 0) break;
-    got += grabbed;
-  }
-  if (!allow_partial && got < tokens && got > 0) {
-    // All-or-nothing shortfall: the partial grab goes back as a refill
-    // (token/antitoken duality makes un-consume the same op as refill).
-    refill(thread_hint, got);
-    got = 0;
-  }
-  return got;
+  // The grab/refund plan is the shared svc::bucket_consume policy (the
+  // virtual-time simulator runs the identical plan against its pool
+  // models). Bulk claims: central backends take the whole remainder in one
+  // CAS, network backends in one antitoken traversal + block cell claims.
+  // A zero return is conclusive — the pool was observably empty — and an
+  // all-or-nothing shortfall goes back as a refill (token/antitoken
+  // duality makes un-consume the same op as refill).
+  return bucket_consume(
+      tokens, allow_partial,
+      [&](std::uint64_t want) {
+        return pool_->try_fetch_decrement_n(thread_hint, want);
+      },
+      [&](std::uint64_t refund) { refill(thread_hint, refund); });
 }
 
 void NetTokenBucket::refill(std::size_t thread_hint, std::uint64_t tokens) {

@@ -1,0 +1,79 @@
+// Backend-independent *decision* logic of the service layer, factored out
+// of the concurrent implementations so the virtual-time multicore simulator
+// (sim::MulticoreModel) runs the exact same rules as the real machinery —
+// when an adaptive counter switches, what value an eliminated pair agrees
+// on, how a bucket consume grabs and refunds — instead of a drifting
+// reimplementation. Everything here is pure: no atomics, no time, no I/O.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace cnet::svc {
+
+// Switch tuning for the adaptive backend (svc::AdaptiveCounter and the
+// simulator's adaptive model both decide through should_switch below).
+struct AdaptiveTuning {
+  // Per-slot ops between LoadStats probes.
+  std::uint64_t sample_interval = 2048;
+  // Windows smaller than this never trigger (startup noise guard).
+  std::uint64_t min_window_ops = 4096;
+  // Stalls per op in one window that trigger the central→network swap.
+  double stall_rate_threshold = 0.05;
+};
+
+// One observation window: ops completed and contention events (stalls, CAS
+// retries — whatever total the observer feeds in) since the previous
+// sample. svc::LoadStats produces these from live threads; the simulator
+// produces them from virtual-time stall events.
+struct LoadWindow {
+  std::uint64_t ops = 0;
+  std::uint64_t events = 0;
+  double event_rate() const noexcept {
+    return ops == 0 ? 0.0
+                    : static_cast<double>(events) / static_cast<double>(ops);
+  }
+};
+
+// The central→network switch rule: a window big enough to trust whose
+// stall rate crosses the threshold.
+inline bool should_switch(const LoadWindow& window,
+                          const AdaptiveTuning& tuning) noexcept {
+  if (window.ops < tuning.min_window_ops) return false;
+  return window.event_rate() >= tuning.stall_rate_threshold;
+}
+
+// The elimination pairing name: the value both sides of a collision agree
+// on, derived from the slot index and the slot's epoch at pairing time.
+// Always negative, unique per collision, never collides with the
+// non-negative values real backends assign — so paired inc/dec cancel
+// exactly in any inc-minus-dec multiset.
+constexpr std::int64_t elimination_pair_value(std::size_t num_slots,
+                                              std::size_t slot,
+                                              std::uint64_t epoch) noexcept {
+  return -1 - static_cast<std::int64_t>(epoch * num_slots + slot);
+}
+
+// The token-bucket consume plan: grab up to `tokens` through `take_n`
+// (which returns how many it claimed; zero is conclusive — the pool was
+// observably empty), and on an all-or-nothing shortfall refund the partial
+// grab through `put_n`. Returns tokens actually consumed. NetTokenBucket
+// runs this against a live rt::Counter; the simulator runs it against its
+// virtual-time pool models.
+template <class TakeN, class PutN>
+std::uint64_t bucket_consume(std::uint64_t tokens, bool allow_partial,
+                             TakeN&& take_n, PutN&& put_n) {
+  std::uint64_t got = 0;
+  while (got < tokens) {
+    const std::uint64_t grabbed = take_n(tokens - got);
+    if (grabbed == 0) break;
+    got += grabbed;
+  }
+  if (!allow_partial && got < tokens && got > 0) {
+    put_n(got);
+    got = 0;
+  }
+  return got;
+}
+
+}  // namespace cnet::svc

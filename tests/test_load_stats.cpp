@@ -1,0 +1,110 @@
+// svc::LoadStats: the sampler must never produce an underflowed window.
+// The historical bug: the caller read its lifetime event total *before*
+// winning the sampler claim, so a concurrent sampler could advance
+// last_events_ past the captured total and the delta wrapped to ~2^64 —
+// one poisoned window was enough to force a spurious adaptive switch.
+// These tests pin the clamp (pre-captured form) and the re-read-after-
+// claim form, then hammer the claim race under the concurrency label so
+// TSan sees the sampler fields too.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "cnet/svc/load_stats.hpp"
+
+namespace cnet::svc {
+namespace {
+
+TEST(LoadStats, StaleTotalClampsToEmptyWindowInsteadOfWrapping) {
+  LoadStats stats(1);
+  stats.record_ops(0);
+  // First sample observes 150 lifetime events.
+  auto first = stats.sample(std::uint64_t{150});
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->events, 150u);
+
+  // Regression: a sampler that captured its total before the first one ran
+  // hands in a stale 100. Pre-fix this produced 100 - 150 == ~2^64 events
+  // (event_rate ~1.8e17 per op) and a guaranteed spurious switch; the
+  // clamp must yield an empty window instead.
+  stats.record_ops(0);
+  auto stale = stats.sample(std::uint64_t{100});
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_EQ(stale->events, 0u);
+  EXPECT_EQ(stale->event_rate(), 0.0);
+
+  // The high-water mark survives the stale sample: progress past 150 is
+  // measured from 150, not from the stale 100.
+  stats.record_ops(0);
+  auto next = stats.sample(std::uint64_t{160});
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->events, 10u);
+}
+
+TEST(LoadStats, CallableFormReadsTheTotalAfterClaiming) {
+  LoadStats stats(1);
+  std::uint64_t reads = 0;
+  std::uint64_t total = 40;
+  stats.record_ops(0);
+  auto window = stats.sample([&] {
+    ++reads;
+    return total;
+  });
+  ASSERT_TRUE(window.has_value());
+  EXPECT_EQ(reads, 1u);  // read exactly once, inside the claim
+  EXPECT_EQ(window->events, 40u);
+  EXPECT_EQ(window->ops, 1u);
+}
+
+TEST(LoadStats, WindowsPartitionTheOpStream) {
+  LoadStats stats(4);
+  std::uint64_t sampled_ops = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (stats.record_ops(0)) {
+      const auto w = stats.sample(std::uint64_t{0});
+      ASSERT_TRUE(w.has_value());
+      sampled_ops += w->ops;
+    }
+  }
+  const auto tail = stats.sample(std::uint64_t{0});
+  ASSERT_TRUE(tail.has_value());
+  sampled_ops += tail->ops;
+  EXPECT_EQ(sampled_ops, 100u);
+}
+
+TEST(LoadStats, ConcurrentStaleSamplersNeverObserveWrappedWindows) {
+  // The original interleaving, live: every thread captures the event total
+  // *before* calling sample (the pre-fix call pattern), so captured totals
+  // routinely lag a faster sampler's update. No window may ever report
+  // more events than were recorded in the whole run.
+  constexpr std::uint64_t kPerThread = 20000;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::uint64_t kTotal = kPerThread * kThreads;
+  LoadStats stats(8);
+  std::atomic<std::uint64_t> events{0};
+  std::vector<std::uint64_t> max_seen(kThreads, 0);
+  {
+    std::vector<std::jthread> workers;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        for (std::uint64_t i = 0; i < kPerThread; ++i) {
+          events.fetch_add(1, std::memory_order_relaxed);
+          const std::uint64_t snap = events.load(std::memory_order_relaxed);
+          if (!stats.record_ops(t)) continue;
+          if (const auto w = stats.sample(snap)) {
+            max_seen[t] = std::max(max_seen[t], w->events);
+          }
+        }
+      });
+    }
+  }
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_LE(max_seen[t], kTotal) << "window wrapped on thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace cnet::svc

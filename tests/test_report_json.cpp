@@ -1,0 +1,65 @@
+// bench::json_escape guards the CI artifact gate: a check or section name
+// carrying a control character, quote, or backslash must never produce
+// invalid JSON (a corrupt artifact reads as "no failed checks" to anything
+// parsing it leniently). Pins every short escape, the \u00XX fallback for
+// the remaining C0 range, and pass-through for multibyte UTF-8.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/report.hpp"
+
+namespace cnet::bench {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("Table B': ops/virtual-sec, 64 cores"),
+            "Table B': ops/virtual-sec, 64 cores");
+  EXPECT_EQ(json_escape(""), "");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("\\\""), "\\\\\\\"");
+}
+
+TEST(JsonEscape, EscapesEveryShortControlForm) {
+  EXPECT_EQ(json_escape("a\bb"), "a\\bb");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape("a\fb"), "a\\fb");
+  EXPECT_EQ(json_escape("a\rb"), "a\\rb");
+  // A CRLF-riddled multi-line name stays one valid JSON string.
+  EXPECT_EQ(json_escape("line1\r\nline2"), "line1\\r\\nline2");
+}
+
+TEST(JsonEscape, EscapesRemainingC0ControlsAsUnicode) {
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_escape(std::string(1, '\x1f')), "\\u001f");
+  EXPECT_EQ(json_escape(std::string{'a', '\0', 'b'}), "a\\u0000b");
+  // ESC (0x1b) has no short form.
+  EXPECT_EQ(json_escape("a\x1b[1m"), "a\\u001b[1m");
+}
+
+TEST(JsonEscape, LeavesHighBytesAndUtf8Alone) {
+  // Bytes >= 0x80 must not be treated as negative chars and escaped — a
+  // UTF-8 section title round-trips byte-identically.
+  // U+00D7 multiplication sign, two UTF-8 bytes.
+  const std::string utf8 = "C(8,24) \xc3\x97 throughput";
+  EXPECT_EQ(json_escape(utf8), utf8);
+  EXPECT_EQ(json_escape("\x7f"), "\x7f");  // DEL is not C0; passes through
+}
+
+TEST(JsonEscape, EscapedOutputContainsNoRawControls) {
+  std::string nasty;
+  for (int c = 0; c < 0x20; ++c) nasty.push_back(static_cast<char>(c));
+  nasty += "\"\\";
+  const std::string out = json_escape(nasty);
+  for (const char c : out) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+}
+
+}  // namespace
+}  // namespace cnet::bench

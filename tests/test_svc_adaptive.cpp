@@ -111,6 +111,23 @@ TEST(AdaptiveCounter, SwapUnderConcurrentMixedTrafficConservesCounts) {
       << "tokens were minted or lost across the backend swap";
 }
 
+TEST(AdaptiveCounter, BulkConsumeChargesTheTokenCountNotOneOp) {
+  // Regression: try_fetch_decrement_n used to charge a single op for an
+  // n-token bulk claim while the batch-increment path charged k, so
+  // bulk-consume-heavy loads undercounted ops and overestimated the stall
+  // rate. The probe must see the tokens actually transferred (minimum one
+  // for an empty-pool attempt).
+  AdaptiveCounter counter;
+  std::int64_t scratch[64];
+  counter.fetch_increment_batch(0, 64, scratch);
+  EXPECT_EQ(counter.stats().ops(), 64u);
+  EXPECT_EQ(counter.try_fetch_decrement_n(0, 64), 64u);
+  EXPECT_EQ(counter.stats().ops(), 128u) << "bulk consume undercharged";
+  // Empty-pool attempt: one op for the failed claim.
+  EXPECT_EQ(counter.try_fetch_decrement_n(0, 64), 0u);
+  EXPECT_EQ(counter.stats().ops(), 129u);
+}
+
 TEST(AdaptiveCounter, FactoryBuildsAndComposesWithElimination) {
   const auto plain = make_counter(BackendKind::kAdaptive);
   EXPECT_EQ(plain->name(), "adaptive·central-atomic");

@@ -1,0 +1,97 @@
+// svc/policy.hpp: the decision logic shared between the real service layer
+// and the virtual-time simulator. These rules are pure functions, so the
+// tests pin their edges exactly — a drift here would silently desynchronize
+// model from reality.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "cnet/svc/policy.hpp"
+
+namespace cnet::svc {
+namespace {
+
+TEST(SwitchPolicy, RequiresBothWindowSizeAndRate) {
+  AdaptiveTuning tuning;
+  tuning.min_window_ops = 100;
+  tuning.stall_rate_threshold = 0.05;
+
+  // Too small a window never triggers, however hot.
+  EXPECT_FALSE(should_switch({99, 99}, tuning));
+  // Exactly at the floor with the rate above threshold: triggers.
+  EXPECT_TRUE(should_switch({100, 6}, tuning));
+  // Rate exactly at threshold is inclusive, above the floor too.
+  EXPECT_TRUE(should_switch({100, 5}, tuning));
+  EXPECT_TRUE(should_switch({200, 10}, tuning));
+  EXPECT_FALSE(should_switch({100, 4}, tuning));
+  // A zero-op window divides to rate 0, not NaN.
+  EXPECT_FALSE(should_switch({0, 0}, tuning));
+}
+
+TEST(SwitchPolicy, EmptyWindowRateIsZero) {
+  EXPECT_EQ(LoadWindow{}.event_rate(), 0.0);
+  EXPECT_EQ((LoadWindow{0, 7}).event_rate(), 0.0);
+  EXPECT_DOUBLE_EQ((LoadWindow{200, 10}).event_rate(), 0.05);
+}
+
+TEST(ElimPolicy, PairValuesAreNegativeAndUniquePerCollision) {
+  // Value = -1 - (epoch * slots + slot): injective over (slot, epoch), so
+  // no two distinct collisions can agree on the same value, and never >= 0
+  // (real backends own the non-negative range).
+  constexpr std::size_t kSlots = 8;
+  std::vector<std::int64_t> seen;
+  for (std::uint64_t epoch = 0; epoch < 4; ++epoch) {
+    for (std::size_t slot = 0; slot < kSlots; ++slot) {
+      const std::int64_t v = elimination_pair_value(kSlots, slot, epoch);
+      EXPECT_LT(v, 0);
+      for (const std::int64_t prior : seen) EXPECT_NE(v, prior);
+      seen.push_back(v);
+    }
+  }
+  EXPECT_EQ(elimination_pair_value(kSlots, 0, 0), -1);
+  EXPECT_EQ(elimination_pair_value(kSlots, 7, 0), -8);
+  EXPECT_EQ(elimination_pair_value(kSlots, 0, 1), -9);
+}
+
+TEST(BucketPolicy, PartialGrabAllowed) {
+  // Pool of 10 claimed through a take that hands out at most 4 per call:
+  // partial mode drains all 10 across the loop.
+  std::uint64_t pool = 10;
+  std::uint64_t refunds = 0;
+  const auto take = [&](std::uint64_t want) {
+    const std::uint64_t got = std::min<std::uint64_t>({want, pool, 4});
+    pool -= got;
+    return got;
+  };
+  const auto put = [&](std::uint64_t n) { refunds += n; };
+  EXPECT_EQ(bucket_consume(16, /*allow_partial=*/true, take, put), 10u);
+  EXPECT_EQ(pool, 0u);
+  EXPECT_EQ(refunds, 0u);
+}
+
+TEST(BucketPolicy, AllOrNothingRefundsTheShortfall) {
+  std::uint64_t pool = 10;
+  std::uint64_t refunds = 0;
+  const auto take = [&](std::uint64_t want) {
+    const std::uint64_t got = std::min(want, pool);
+    pool -= got;
+    return got;
+  };
+  const auto put = [&](std::uint64_t n) { refunds += n; };
+  // Short pool, no partial: the grab is refunded and nothing is consumed.
+  EXPECT_EQ(bucket_consume(16, /*allow_partial=*/false, take, put), 0u);
+  EXPECT_EQ(refunds, 10u);
+  // Exact-fit all-or-nothing succeeds without a refund.
+  pool = 16;
+  refunds = 0;
+  EXPECT_EQ(bucket_consume(16, /*allow_partial=*/false, take, put), 16u);
+  EXPECT_EQ(refunds, 0u);
+  // An observably empty pool consumes nothing and refunds nothing.
+  EXPECT_EQ(bucket_consume(4, /*allow_partial=*/false, take, put), 0u);
+  EXPECT_EQ(refunds, 0u);
+}
+
+}  // namespace
+}  // namespace cnet::svc
