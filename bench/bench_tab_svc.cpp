@@ -41,6 +41,9 @@ bench::LoadGenConfig loadgen_config(std::size_t threads, bool smoke) {
   cfg.threads = threads;
   cfg.warmup_seconds = smoke ? 0.01 : 0.15;
   cfg.measure_seconds = smoke ? 0.04 : 0.6;
+  // A loaded CI runner can swallow the whole smoke window before a thread
+  // runs once; the floor keeps every cell non-vacuous.
+  cfg.min_ops_per_thread = 64;
   cfg.latency_sample_every = 0;  // pure throughput
   return cfg;
 }

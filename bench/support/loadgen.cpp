@@ -29,6 +29,7 @@ LoadGenResult run_loadgen(const LoadGenConfig& cfg, const OpFn& op) {
   const std::size_t threads = cfg.threads ? cfg.threads : 1;
   std::atomic<int> phase{kWarmup};
   std::atomic<std::size_t> ready{0};
+  std::atomic<bool> floor_extended{false};
   std::vector<ThreadTally> tallies(threads);
 
   {
@@ -39,6 +40,7 @@ LoadGenResult run_loadgen(const LoadGenConfig& cfg, const OpFn& op) {
         ThreadTally& tally = tallies[t];
         ready.fetch_add(1, std::memory_order_release);
         std::uint64_t calls = 0;
+        std::uint64_t measured_calls = 0;
         bool measuring = false;
         for (;;) {
           const int p = phase.load(std::memory_order_acquire);
@@ -65,6 +67,22 @@ LoadGenResult run_loadgen(const LoadGenConfig& cfg, const OpFn& op) {
             if (measuring) tally.ops += done;
           }
           ++calls;
+          if (measuring) ++measured_calls;
+        }
+        // Minimum-iterations floor: on a loaded host the whole window can
+        // pass while this thread is descheduled (it may never even see
+        // kMeasure). Finish the quota after the window closes rather than
+        // report a zero-op tally.
+        if (measured_calls < cfg.min_ops_per_thread) {
+          floor_extended.store(true, std::memory_order_relaxed);
+          if (!measuring) {
+            tally.ops = 0;
+            tally.latencies_ns.clear();
+          }
+          while (measured_calls < cfg.min_ops_per_thread) {
+            tally.ops += op(t);
+            ++measured_calls;
+          }
         }
       });
     }
@@ -82,12 +100,21 @@ LoadGenResult run_loadgen(const LoadGenConfig& cfg, const OpFn& op) {
     phase.store(kStop, std::memory_order_release);
     const auto measure_end = Clock::now();
 
+    // jthreads join here; floor-extended work (if any) finishes inside.
+    workers.clear();
+    const auto join_end = Clock::now();
+
     LoadGenResult result;
     result.threads = threads;
-    result.seconds =
-        std::chrono::duration<double>(measure_end - measure_begin).count();
-    // jthreads join at scope exit; collect below, after the join.
-    workers.clear();
+    // When the floor extended the run, the wall clock must cover the
+    // overrun — crediting post-window ops against the nominal window would
+    // *inflate* the rate the floor exists to keep honest.
+    result.seconds = std::chrono::duration<double>(
+                         (floor_extended.load(std::memory_order_relaxed)
+                              ? join_end
+                              : measure_end) -
+                         measure_begin)
+                         .count();
 
     result.min_thread_ops = ~std::uint64_t{0};
     std::vector<double> all_latencies;

@@ -15,6 +15,15 @@ struct LoadGenConfig {
   std::size_t threads = 1;
   double warmup_seconds = 0.15;
   double measure_seconds = 0.75;
+  // Minimum measured op-calls each thread must complete before it may
+  // stop. On a loaded CI runner a smoke-sized measurement window can
+  // elapse before a descheduled thread runs even once, leaving zero-op
+  // results that divide to nonsense or pass invariant checks vacuously;
+  // the floor makes every thread finish its quota after the window closes
+  // instead. Throughput from a floor-extended run is an underestimate
+  // (wall time includes the overrun) — smoke numbers are meaningless
+  // anyway, which is the only place the floor should ever bind.
+  std::uint64_t min_ops_per_thread = 1;
   // Record one latency sample every this many op-calls (0 disables latency
   // tracking; sampling keeps the probe overhead off the hot path).
   std::size_t latency_sample_every = 64;

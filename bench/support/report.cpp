@@ -128,6 +128,14 @@ void emit(const util::Table& table, const ReportOptions& opts,
     json_state().tables.push_back({json_state().current_section,
                                    table.headers(), table.rows()});
   }
+  // An empty table is never a valid result — it means a sweep produced no
+  // rows (degenerate smoke window, broken config) and every named check
+  // computed over it passed vacuously. Record it as a failed check so the
+  // run exits nonzero instead of shipping a hollow artifact.
+  if (table.num_rows() == 0) {
+    check("table_nonempty[" + json_state().current_section + "]", false,
+          opts);
+  }
   if (opts.csv) {
     os << table.to_csv();
   } else {

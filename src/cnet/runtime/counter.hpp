@@ -5,6 +5,7 @@
 // can swap them freely.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -66,6 +67,25 @@ class Counter {
     return got;
   }
 
+  // Returns `n` previously claimed values to the pool. Count-wise this is
+  // exactly `n` increments with the values discarded — the default does
+  // just that, in bounded chunks — but it is a distinct operation so
+  // instrumentation layers can tell *refund* traffic (the un-consume of an
+  // all-or-nothing shortfall, or a release of tokens granted earlier) from
+  // organic refills: svc::AdaptiveCounter keeps refunds out of the
+  // stall-rate window its switch decision samples, so a pure-reject storm
+  // cannot masquerade as load.
+  virtual void refund_n(std::size_t thread_hint, std::uint64_t n) {
+    constexpr std::size_t kChunk = 256;
+    std::int64_t scratch[kChunk];
+    while (n > 0) {
+      const auto k =
+          static_cast<std::size_t>(std::min<std::uint64_t>(n, kChunk));
+      fetch_increment_batch(thread_hint, k, scratch);
+      n -= k;
+    }
+  }
+
   virtual std::string name() const = 0;
 
   // Total observed contention events (CAS retries / lock waits), if the
@@ -108,6 +128,12 @@ class ForwardingCounter : public Counter {
   std::uint64_t try_fetch_decrement_n(std::size_t thread_hint,
                                       std::uint64_t n) override {
     return inner_->try_fetch_decrement_n(thread_hint, n);
+  }
+  // Refunds take the inner counter's fast path directly (an ElimCounter
+  // does not route them through the exchange slots): give-backs should
+  // land in the pool unconditionally, not wait for a partner.
+  void refund_n(std::size_t thread_hint, std::uint64_t n) override {
+    inner_->refund_n(thread_hint, n);
   }
   std::string name() const override { return inner_->name(); }
   std::uint64_t stall_count() const override { return inner_->stall_count(); }

@@ -73,6 +73,13 @@ class CounterModel {
   virtual void increment_n(std::size_t core, std::uint64_t k, Done done) = 0;
   virtual void try_decrement_n(std::size_t core, std::uint64_t n,
                                DoneN done) = 0;
+  // Refund traffic (shortfall un-consume, quota releases): count-wise the
+  // same deposits as increment_n — the default — but a distinct entry
+  // point so AdaptiveModel can keep it out of its switch window, exactly
+  // mirroring rt::Counter::refund_n and AdaptiveCounter's override.
+  virtual void refund_n(std::size_t core, std::uint64_t k, Done done) {
+    increment_n(core, k, std::move(done));
+  }
 
   virtual std::uint64_t stalls() const = 0;
   virtual std::int64_t pool() const = 0;
@@ -144,8 +151,17 @@ class ServiceDraw {
 // is a stall event, the virtual analogue of Counter::stall_count.
 class CentralModel final : public PoolBase {
  public:
-  CentralModel(Engine& eng, double slope, ServiceDraw draw)
-      : eng_(eng), slope_(slope), draw_(draw) {}
+  // empty_read_fast_path models the atomic/CAS bounded-decrement contract:
+  // on an observably empty pool the real loop exits after a plain load — a
+  // shared cache read that never takes exclusive line ownership — so it
+  // neither queues behind the RMW stream nor counts as a stall. The mutex
+  // kind always takes the lock and gets no fast path.
+  CentralModel(Engine& eng, double slope, ServiceDraw draw,
+               bool empty_read_fast_path = false)
+      : eng_(eng),
+        slope_(slope),
+        draw_(draw),
+        empty_read_fast_path_(empty_read_fast_path) {}
 
   void increment_n(std::size_t, std::uint64_t k, Done done) override {
     // A batch of k is k successive RMWs holding the line.
@@ -158,6 +174,14 @@ class CentralModel final : public PoolBase {
   }
 
   void try_decrement_n(std::size_t, std::uint64_t n, DoneN done) override {
+    if (empty_read_fast_path_ && pool() <= 0) {
+      // Read-only miss: one uncontended service draw, in parallel with the
+      // server. The op's linearization point is the issue-time load that
+      // observed the empty pool, so it conclusively returns 0.
+      eng_.at(eng_.now() + draw_(),
+              [done = std::move(done)] { done(0); });
+      return;
+    }
     // One bounded CAS claims the whole remainder (rt::AtomicCounter /
     // CasCounter take the bulk path in a single word-sized claim).
     const double t = schedule_rmw(1.0);
@@ -185,6 +209,7 @@ class CentralModel final : public PoolBase {
   Engine& eng_;
   double slope_;
   ServiceDraw draw_;
+  bool empty_read_fast_path_;
   std::uint64_t pending_ = 0;  // requests queued or in service
   double free_ = 0.0;          // time the server next goes idle
   std::uint64_t stalls_ = 0;
@@ -413,6 +438,12 @@ class ElimModel final : public CounterModel {
         });
   }
 
+  // Refunds skip the exchange slots (rt::ForwardingCounter's default does
+  // the same): give-backs land in the pool unconditionally.
+  void refund_n(std::size_t core, std::uint64_t k, Done done) override {
+    inner_->refund_n(core, k, std::move(done));
+  }
+
   std::uint64_t stalls() const override { return inner_->stalls(); }
   std::int64_t pool() const override { return inner_->pool(); }
   bool pool_ever_negative() const override {
@@ -549,6 +580,14 @@ class AdaptiveModel final : public CounterModel {
 
   void try_decrement_n(std::size_t core, std::uint64_t n,
                        DoneN done) override {
+    if (switched_) {
+      // Sweep straggler deposits (pre-switch ops completing late on the
+      // cold model) before taking: the real counter's reader quiescence
+      // means a post-swap consumer can never miss a token that is only
+      // "in the other pool".
+      const std::uint64_t left = cold_->drain_pool_now();
+      if (left > 0) hot_->inject_pool_now(left);
+    }
     active().try_decrement_n(
         core, n, [this, done = std::move(done)](std::uint64_t got) {
           // Same charging rule as the fixed AdaptiveCounter: tokens
@@ -556,6 +595,26 @@ class AdaptiveModel final : public CounterModel {
           after_ops(std::max<std::uint64_t>(got, 1));
           done(got);
         });
+  }
+
+  void refund_n(std::size_t core, std::uint64_t k, Done done) override {
+    // Mirror of AdaptiveCounter::refund_n: no op charge, and the stalls
+    // the refund provokes on the cold model are banked for exclusion from
+    // the switch window. The cold CentralModel tallies a stall at
+    // scheduling time (inside the increment_n call), so the delta around
+    // the call attributes exactly this refund's own stalls.
+    const bool track = !switched_;
+    const std::uint64_t before = track ? cold_->stalls() : 0;
+    active().refund_n(core, k, [this, done = std::move(done)] {
+      if (switched_) {
+        // Same straggler sweep as after_ops: a refund that was in flight
+        // on the cold model at the switch instant must not strand tokens.
+        const std::uint64_t left = cold_->drain_pool_now();
+        if (left > 0) hot_->inject_pool_now(left);
+      }
+      done();
+    });
+    if (track) refund_stalls_ += cold_->stalls() - before;
   }
 
   std::uint64_t stalls() const override {
@@ -599,10 +658,17 @@ class AdaptiveModel final : public CounterModel {
     if (before / tuning_.sample_interval == ops_ / tuning_.sample_interval) {
       return;  // no sample boundary crossed
     }
-    const svc::LoadWindow window{ops_ - last_ops_,
-                                 cold_->stalls() - last_events_};
+    // Refund-attributed stalls are excluded, clamped like LoadStats: the
+    // exclusion can make the adjusted total dip below the previous
+    // window's high-water mark, which must read as an empty delta.
+    const std::uint64_t total = cold_->stalls();
+    const std::uint64_t events_now =
+        total >= refund_stalls_ ? total - refund_stalls_ : 0;
+    const svc::LoadWindow window{
+        ops_ - last_ops_,
+        events_now >= last_events_ ? events_now - last_events_ : 0};
     last_ops_ = ops_;
-    last_events_ = cold_->stalls();
+    last_events_ = std::max(last_events_, events_now);
     if (!svc::should_switch(window, tuning_)) return;
     switched_ = true;
     switch_time_ = eng_.now();
@@ -617,6 +683,7 @@ class AdaptiveModel final : public CounterModel {
   double switch_time_ = -1.0;
   std::uint64_t ops_ = 0, ops_at_switch_ = 0;
   std::uint64_t last_ops_ = 0, last_events_ = 0;
+  std::uint64_t refund_stalls_ = 0;
 };
 
 // ----------------------------------------------------------------- driver
@@ -644,10 +711,12 @@ std::unique_ptr<CounterModel> make_backend_model(svc::BackendKind kind,
   switch (kind) {
     case svc::BackendKind::kCentralAtomic:
       return std::make_unique<CentralModel>(eng, cfg.central_slope,
-                                            draw(cfg.central_service));
+                                            draw(cfg.central_service),
+                                            /*empty_read_fast_path=*/true);
     case svc::BackendKind::kCentralCas:
       return std::make_unique<CentralModel>(eng, cfg.cas_slope,
-                                            draw(cfg.central_service));
+                                            draw(cfg.central_service),
+                                            /*empty_read_fast_path=*/true);
     case svc::BackendKind::kCentralMutex:
       return std::make_unique<CentralModel>(eng, cfg.mutex_slope,
                                             draw(cfg.mutex_service));
@@ -657,7 +726,9 @@ std::unique_ptr<CounterModel> make_backend_model(svc::BackendKind kind,
       return network(cfg.batch_k);
     case svc::BackendKind::kAdaptive: {
       auto cold = std::make_unique<CentralModel>(eng, cfg.central_slope,
-                                                 draw(cfg.central_service));
+                                                 draw(cfg.central_service),
+                                                 /*empty_read_fast_path=*/
+                                                 true);
       auto model = std::make_unique<AdaptiveModel>(
           std::move(cold), network(cfg.batch_k), eng, cfg.tuning);
       if (adaptive != nullptr) *adaptive = model.get();
@@ -783,6 +854,239 @@ MulticoreResult simulate_multicore(const svc::BackendSpec& spec,
 
   // Every core must have completed its loop (the event queue drains only
   // when no completion is pending).
+  for (const CoreState& core : cores) {
+    CNET_ENSURE(core.ops_done == cfg.ops_per_core,
+                "simulated core finished early");
+  }
+  return res;
+}
+
+QuotaSimConfig quota_sim_reference_config(std::size_t cores) {
+  QuotaSimConfig cfg;
+  cfg.cores = cores;
+  cfg.tenants = 8;
+  cfg.hot_tenants = 1;
+  cfg.hot_core_share = 0.75;
+  cfg.ops_per_core = 512;
+  cfg.base.exponential_service = true;
+  cfg.base.seed = 0xB10C0DE;
+  return cfg;
+}
+
+QuotaSimResult simulate_quota(const svc::BackendSpec& parent_spec,
+                              const QuotaSimConfig& cfg) {
+  CNET_REQUIRE(cfg.cores >= 1, "need at least one simulated core");
+  CNET_REQUIRE(cfg.tenants >= 1, "need at least one tenant");
+  CNET_REQUIRE(cfg.hot_tenants <= cfg.tenants,
+               "hot tenants cannot exceed tenants");
+  CNET_REQUIRE(cfg.ops_per_core >= 1, "need at least one op per core");
+  CNET_REQUIRE(cfg.acquire_cost >= 1, "acquire cost must be positive");
+  CNET_REQUIRE(cfg.hot_weight > 0 && cfg.cold_weight > 0,
+               "weights must be positive");
+  CNET_REQUIRE(cfg.hold_time >= 0.0 && cfg.think_time >= 0.0,
+               "delays must be nonnegative");
+
+  Engine eng;
+  util::Xoshiro256 rng(cfg.base.seed);
+  ModelStack parent_stack = make_model(parent_spec, eng, cfg.base, rng);
+  CounterModel& parent = *parent_stack.root;
+  parent.inject_pool_now(cfg.parent_initial);
+
+  // Per-tenant child pools: central-word models, matching the real
+  // hierarchy's default child backend — cheap alone, and honestly a queue
+  // when many hot cores share one tenant.
+  std::vector<std::unique_ptr<CounterModel>> children;
+  children.reserve(cfg.tenants);
+  for (std::size_t t = 0; t < cfg.tenants; ++t) {
+    children.push_back(std::make_unique<CentralModel>(
+        eng, cfg.base.central_slope,
+        ServiceDraw(cfg.base.central_service, cfg.base.exponential_service,
+                    rng),
+        /*empty_read_fast_path=*/true));
+    children.back()->inject_pool_now(cfg.child_initial);
+  }
+
+  // Core pinning: the first hot_core_share of the cores round-robin over
+  // the hot tenants, the rest over the cold ones.
+  const std::size_t cold_tenants = cfg.tenants - cfg.hot_tenants;
+  std::size_t hot_cores =
+      cfg.hot_tenants == 0
+          ? 0
+          : static_cast<std::size_t>(
+                static_cast<double>(cfg.cores) * cfg.hot_core_share + 0.5);
+  if (cfg.hot_tenants > 0 && hot_cores < cfg.hot_tenants) {
+    hot_cores = cfg.hot_tenants;  // every hot tenant gets a core
+  }
+  if (cold_tenants == 0) hot_cores = cfg.cores;
+  hot_cores = std::min(hot_cores, cfg.cores);
+  std::vector<std::size_t> tenant_of(cfg.cores);
+  for (std::size_t c = 0; c < cfg.cores; ++c) {
+    tenant_of[c] = c < hot_cores
+                       ? c % cfg.hot_tenants
+                       : cfg.hot_tenants + (c - hot_cores) % cold_tenants;
+  }
+
+  // Weighted borrow limits, from the same shared rule the real hierarchy
+  // applies at construction.
+  std::uint64_t total_weight = 0;
+  std::vector<std::uint64_t> weights(cfg.tenants);
+  for (std::size_t t = 0; t < cfg.tenants; ++t) {
+    weights[t] = t < cfg.hot_tenants ? cfg.hot_weight : cfg.cold_weight;
+    total_weight += weights[t];
+  }
+
+  QuotaSimResult res;
+  res.attempts_per_tenant.assign(cfg.tenants, 0);
+  res.admitted_per_tenant.assign(cfg.tenants, 0);
+  res.limit_per_tenant.resize(cfg.tenants);
+  res.peak_borrowed_per_tenant.assign(cfg.tenants, 0);
+  for (std::size_t t = 0; t < cfg.tenants; ++t) {
+    res.limit_per_tenant[t] =
+        svc::weighted_borrow_limit(cfg.borrow_budget, weights[t],
+                                   total_weight);
+  }
+
+  std::vector<std::uint64_t> borrowed(cfg.tenants, 0);
+  bool cap_violated = false;
+  struct CoreState {
+    std::size_t ops_done = 0;
+  };
+  std::vector<CoreState> cores(cfg.cores);
+  double makespan = 0.0;
+  const auto touch = [&] { makespan = std::max(makespan, eng.now()); };
+
+  // The acquire flow is svc::quota_acquire's rule set driven in
+  // continuation-passing form: the child take, the borrow_allowance
+  // reservation, the parent take, and a quota_settle that either keeps
+  // both parts or refunds each to its own level.
+  std::function<void(std::size_t)> step;
+  std::function<void(std::size_t, std::size_t, std::uint64_t, std::uint64_t,
+                     std::uint64_t)>
+      settle = [&](std::size_t c, std::size_t t, std::uint64_t got_child,
+                   std::uint64_t got_parent, std::uint64_t reserved) {
+        touch();
+        ++res.acquire_ops;
+        ++res.attempts_per_tenant[t];
+        ++cores[c].ops_done;
+        const svc::QuotaSettlement s =
+            svc::quota_settle(cfg.acquire_cost, got_child, got_parent);
+        const auto next = [&, c](double at) {
+          eng.at(at, [&, c] { step(c); });
+        };
+        if (s.admitted) {
+          ++res.admitted;
+          ++res.admitted_per_tenant[t];
+          res.granted_child_tokens += got_child;
+          res.granted_parent_tokens += got_parent;
+          // Hold the grant, then release each part to the level it came
+          // from (child first, then parent pool, then the borrow headroom
+          // — the real release's ordering); the next attempt follows the
+          // release completion plus think time.
+          eng.at(eng.now() + cfg.hold_time, [&, c, t, got_child, got_parent,
+                                             next] {
+            const auto release_parent = [&, c, t, got_parent, next] {
+              if (got_parent == 0) {
+                touch();
+                next(eng.now() + cfg.think_time);
+                return;
+              }
+              parent.refund_n(c, got_parent, [&, t, got_parent, next] {
+                borrowed[t] -= got_parent;
+                touch();
+                next(eng.now() + cfg.think_time);
+              });
+            };
+            if (got_child > 0) {
+              children[t]->refund_n(c, got_child, release_parent);
+            } else {
+              release_parent();
+            }
+          });
+          return;
+        }
+        ++res.rejected;
+        if (t < cfg.hot_tenants) {
+          ++res.hot_rejected;
+        } else {
+          ++res.cold_rejected;
+        }
+        const auto refund_child = [&, c, t, got_child, next] {
+          if (got_child == 0) {
+            next(eng.now() + cfg.think_time);
+            return;
+          }
+          children[t]->refund_n(c, got_child, [&, next] {
+            touch();
+            next(eng.now() + cfg.think_time);
+          });
+        };
+        // Pool before headroom (quota_acquire's reject ordering): the
+        // reservation is released only once the parent refund has landed.
+        if (s.refund_parent > 0) {
+          parent.refund_n(c, s.refund_parent, [&, t, reserved,
+                                               refund_child] {
+            if (reserved > 0) borrowed[t] -= reserved;
+            touch();
+            refund_child();
+          });
+        } else {
+          if (reserved > 0) borrowed[t] -= reserved;
+          refund_child();
+        }
+      };
+
+  step = [&](std::size_t c) {
+    if (cores[c].ops_done == cfg.ops_per_core) return;
+    const std::size_t t = tenant_of[c];
+    children[t]->try_decrement_n(
+        c, cfg.acquire_cost, [&, c, t](std::uint64_t got_child) {
+          if (got_child == cfg.acquire_cost) {
+            settle(c, t, got_child, 0, 0);
+            return;
+          }
+          const std::uint64_t shortfall = cfg.acquire_cost - got_child;
+          const std::uint64_t reserved = svc::borrow_allowance(
+              shortfall, borrowed[t], res.limit_per_tenant[t]);
+          if (reserved < shortfall) {
+            settle(c, t, got_child, 0, 0);  // nothing committed
+            return;
+          }
+          borrowed[t] += reserved;
+          res.peak_borrowed_per_tenant[t] =
+              std::max(res.peak_borrowed_per_tenant[t], borrowed[t]);
+          if (borrowed[t] > res.limit_per_tenant[t]) cap_violated = true;
+          parent.try_decrement_n(
+              c, shortfall,
+              [&, c, t, got_child, reserved](std::uint64_t got_parent) {
+                settle(c, t, got_child, got_parent, reserved);
+              });
+        });
+  };
+
+  for (std::size_t c = 0; c < cfg.cores; ++c) step(c);
+  eng.run();
+
+  res.makespan = makespan;
+  res.ops_per_vtime =
+      static_cast<double>(res.acquire_ops) / std::max(makespan, 1e-12);
+  res.goodput_per_vtime =
+      static_cast<double>(res.admitted) / std::max(makespan, 1e-12);
+  res.parent_stalls = parent.stalls();
+  for (const auto& child : children) res.child_stalls += child->stalls();
+
+  bool quiescent_exact = !parent.pool_ever_negative() &&
+                         parent.pool() == static_cast<std::int64_t>(
+                                              cfg.parent_initial);
+  for (std::size_t t = 0; t < cfg.tenants; ++t) {
+    quiescent_exact =
+        quiescent_exact && !children[t]->pool_ever_negative() &&
+        children[t]->pool() ==
+            static_cast<std::int64_t>(cfg.child_initial) &&
+        borrowed[t] == 0;
+  }
+  res.conserved = quiescent_exact;
+  res.isolation = !cap_violated && res.cold_rejected == 0;
+
   for (const CoreState& core : cores) {
     CNET_ENSURE(core.ops_done == cfg.ops_per_core,
                 "simulated core finished early");

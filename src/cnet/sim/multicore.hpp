@@ -116,6 +116,86 @@ struct MulticoreResult {
 MulticoreResult simulate_multicore(const svc::BackendSpec& spec,
                                    const MulticoreConfig& cfg);
 
+// ------------------------------------------------------------------ quota
+
+// The svc::QuotaHierarchy workload in virtual time (Table D's model
+// counterpart): `cores` simulated cores, each pinned to a tenant, run an
+// acquire → hold → release loop against per-tenant child pool models and
+// one shared parent pool model built from `parent_spec`. Hot/cold skew
+// pins `hot_core_share` of the cores to the first `hot_tenants` tenants.
+// The borrow decisions are the same pure rules the real hierarchy runs
+// (svc::borrow_allowance / quota_settle from svc/policy.hpp), driven in
+// continuation-passing form, and releases return each grant part to the
+// level it came from through the models' probe-invisible refund path.
+struct QuotaSimConfig {
+  // Engine/model knobs (service times, slopes, network shape, adaptive
+  // tuning, exponential draws, seed). base.cores / ops_per_core /
+  // refill_every / initial_tokens_per_core are ignored here.
+  MulticoreConfig base;
+
+  std::size_t cores = 16;
+  std::size_t tenants = 4;
+  std::size_t hot_tenants = 1;   // tenants [0, hot_tenants) are hot
+  double hot_core_share = 0.75;  // fraction of cores pinned to hot tenants
+  std::size_t ops_per_core = 512;  // acquire attempts per core
+
+  std::uint64_t acquire_cost = 1;
+  std::uint64_t child_initial = 2;    // per-tenant child pool
+  std::uint64_t parent_initial = 32;  // shared parent pool
+  // Sum of weighted limits never exceeds this; keep it <= parent_initial -
+  // acquire_cost so a won reservation always finds its parent tokens (the
+  // isolation configuration svc/quota.hpp documents).
+  std::uint64_t borrow_budget = 30;
+  std::uint64_t hot_weight = 8;
+  std::uint64_t cold_weight = 1;
+
+  double hold_time = 4.0;   // virtual time a grant is held before release
+  double think_time = 0.2;  // pause after a release or reject
+};
+
+struct QuotaSimResult {
+  double makespan = 0.0;
+  double ops_per_vtime = 0.0;  // acquire attempts per unit virtual time
+  // Admitted grants per unit virtual time — the contention-ordering
+  // metric. (Attempt rate rewards fast rejection; a reject storm must not
+  // read as throughput.)
+  double goodput_per_vtime = 0.0;
+  std::uint64_t acquire_ops = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t cold_rejected = 0;  // rejects on cold tenants
+  std::uint64_t hot_rejected = 0;
+  std::uint64_t granted_child_tokens = 0;   // grant parts by origin level
+  std::uint64_t granted_parent_tokens = 0;
+  std::uint64_t parent_stalls = 0;
+  std::uint64_t child_stalls = 0;
+
+  // Exact quiescent ledger: every child pool back at child_initial, the
+  // parent back at parent_initial, no outstanding borrow, no pool ever
+  // negative — each grant part returned to the level it came from.
+  bool conserved = false;
+  // borrowed(t) <= limit(t) at every instant AND no cold-tenant reject:
+  // the weighted cap kept hot tenants from starving the cold ones.
+  bool isolation = false;
+
+  std::vector<std::uint64_t> attempts_per_tenant;
+  std::vector<std::uint64_t> admitted_per_tenant;
+  std::vector<std::uint64_t> limit_per_tenant;
+  std::vector<std::uint64_t> peak_borrowed_per_tenant;
+};
+
+// Deterministic from (parent_spec, cfg, cfg.base.seed), like
+// simulate_multicore.
+QuotaSimResult simulate_quota(const svc::BackendSpec& parent_spec,
+                              const QuotaSimConfig& cfg);
+
+// The Table D′ reference workload at `cores` (8 tenants, 1 hot taking 75%
+// of the cores, fixed seed) — shared by bench_tab_quota and the sim tests
+// so the CI-gated crossover/determinism checks and the golden-seed tests
+// can never drift onto different configs (the same pattern as
+// multicore_sweep_specs).
+QuotaSimConfig quota_sim_reference_config(std::size_t cores);
+
 // The Table B' sweep axis, shared by bench_tab_svc_sim and the sim tests
 // so they can never drift apart: every pool-capable kind plain, plus the
 // elimination front-end on the two bookend backends (central word and

@@ -13,6 +13,10 @@ AdaptiveCounter::AdaptiveCounter(const Config& cfg)
       hot_(make_counter(cfg.hot, cfg.net)),
       active_(cold_.get()),
       in_flight_(kReaderSlots),
+      // Of the central kinds only the CAS word records stalls on its
+      // increment path (atomic is fetch_add, mutex does not track), so
+      // only there can a refund batch pollute the window (see refund_n).
+      cold_increments_stall_(cfg.cold == BackendKind::kCentralCas),
       stats_(cfg.tuning.sample_interval) {
   CNET_REQUIRE(cfg.cold != BackendKind::kAdaptive &&
                    cfg.hot != BackendKind::kAdaptive,
@@ -76,6 +80,39 @@ std::uint64_t AdaptiveCounter::try_fetch_decrement_n(std::size_t thread_hint,
   return got;
 }
 
+void AdaptiveCounter::refund_n(std::size_t thread_hint, std::uint64_t n) {
+  // Pre-switch, the stalls this refund provokes on the cold word would
+  // land in the very total the probe windows over — so they are banked
+  // for exclusion. Attribution is exact for the atomic (and mutex) cold
+  // kinds, whose increments are wait-free (lock-silent) and provoke no
+  // stalls at all: nothing is banked. Only a CAS cold word stalls on the
+  // refund increments; its bracket reads the shared lifetime total, which
+  // can pick up other threads' concurrent stalls, so the banked delta is
+  // capped at the refunded token count — the over-exclusion stays
+  // proportional to refund volume instead of tiling wall time, and steady
+  // release traffic cannot indefinitely suppress a legitimate switch.
+  // (Post-switch the probe is dead, so no tracking is needed.)
+  const bool track = cold_increments_stall_ &&
+                     !switched_.load(std::memory_order_relaxed);
+  const std::uint64_t total = n;
+  const std::uint64_t before = track ? cold_->stall_count() : 0;
+  constexpr std::uint64_t kChunk = 256;
+  std::int64_t scratch[kChunk];
+  while (n > 0) {
+    const auto k = static_cast<std::size_t>(std::min(n, kChunk));
+    with_active(thread_hint, [&](rt::Counter& c) {
+      c.fetch_increment_batch(thread_hint, k, scratch);
+      return 0;
+    });
+    n -= k;
+  }
+  if (track) {
+    refund_stalls_.fetch_add(std::min(cold_->stall_count() - before, total),
+                             std::memory_order_relaxed);
+  }
+  // Deliberately no after_ops(): refunds are not load.
+}
+
 std::string AdaptiveCounter::name() const {
   const rt::Counter* active = active_.load(std::memory_order_acquire);
   return "adaptive·" + active->name();
@@ -86,8 +123,14 @@ void AdaptiveCounter::after_ops(std::size_t thread_hint, std::uint64_t n) {
   if (!stats_.record_ops(thread_hint, n)) return;
   // The stall total is read *inside* sample(), after the sampler claim is
   // won — a total captured out here could predate a concurrent sampler's
-  // window and underflow into a spurious switch.
-  const auto window = stats_.sample([this] { return cold_->stall_count(); });
+  // window and underflow into a spurious switch. Refund-attributed stalls
+  // are excluded (clamped at zero: concurrent refunds can over-attribute).
+  const auto window = stats_.sample([this] {
+    const std::uint64_t total = cold_->stall_count();
+    const std::uint64_t excluded =
+        refund_stalls_.load(std::memory_order_relaxed);
+    return total >= excluded ? total - excluded : 0;
+  });
   if (!window) return;  // another thread holds the sampler
   if (!should_switch(*window, cfg_.tuning)) return;
   do_switch(thread_hint);

@@ -55,6 +55,14 @@ class AdaptiveCounter final : public rt::Counter {
                            std::int64_t* reclaimed = nullptr) override;
   std::uint64_t try_fetch_decrement_n(std::size_t thread_hint,
                                       std::uint64_t n) override;
+  // Refund traffic is deliberately invisible to the switch probe: the
+  // tokens go back through the active backend, but no ops are charged to
+  // LoadStats and the stalls the refund batch itself causes are excluded
+  // from the sampled window. Without this a pure-reject storm — all-or-
+  // nothing consumes that grab a partial pool and immediately un-consume
+  // it — inflates the window with traffic that admitted nothing and its
+  // own CAS contention, forcing a spurious central→network swap.
+  void refund_n(std::size_t thread_hint, std::uint64_t n) override;
 
   std::string name() const override;
   std::uint64_t stall_count() const override {
@@ -94,6 +102,15 @@ class AdaptiveCounter final : public rt::Counter {
   std::vector<util::Padded<std::atomic<std::uint64_t>>> in_flight_;
   std::atomic<bool> switch_claimed_{false};
   std::atomic<bool> switched_{false};
+  // True when the cold kind's *increment* path can record stalls (the CAS
+  // word); only then do refund batches bank exclusions (see refund_n).
+  bool cold_increments_stall_ = false;
+  // Stalls attributed to refund batches, subtracted from the cold
+  // backend's lifetime total when a window is sampled. The bracket can
+  // pick up concurrent ops' stalls, so each refund banks at most its
+  // token count, and the sampler's clamp turns any residual
+  // over-exclusion into a smaller window, never an underflowed one.
+  std::atomic<std::uint64_t> refund_stalls_{0};
   LoadStats stats_;
 };
 

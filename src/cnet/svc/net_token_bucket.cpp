@@ -25,6 +25,7 @@ NetTokenBucket::NetTokenBucket(std::unique_ptr<rt::Counter> pool, Config cfg)
 std::uint64_t NetTokenBucket::consume(std::size_t thread_hint,
                                       std::uint64_t tokens,
                                       bool allow_partial) {
+  if (tokens == 0) return 0;  // defined no-op: success, pool untouched
   if (tokens == 1) {
     // The common admit(1) case takes the single-op path: same conclusive
     // miss-means-empty contract, no bulk machinery — and on an ElimCounter
@@ -37,14 +38,15 @@ std::uint64_t NetTokenBucket::consume(std::size_t thread_hint,
   // models). Bulk claims: central backends take the whole remainder in one
   // CAS, network backends in one antitoken traversal + block cell claims.
   // A zero return is conclusive — the pool was observably empty — and an
-  // all-or-nothing shortfall goes back as a refill (token/antitoken
-  // duality makes un-consume the same op as refill).
+  // all-or-nothing shortfall goes back through refund_n, not refill():
+  // count-wise the same increments, but marked so an adaptive pool's load
+  // probe never mistakes a pure-reject storm for organic traffic.
   return bucket_consume(
       tokens, allow_partial,
       [&](std::uint64_t want) {
         return pool_->try_fetch_decrement_n(thread_hint, want);
       },
-      [&](std::uint64_t refund) { refill(thread_hint, refund); });
+      [&](std::uint64_t refund) { pool_->refund_n(thread_hint, refund); });
 }
 
 void NetTokenBucket::refill(std::size_t thread_hint, std::uint64_t tokens) {

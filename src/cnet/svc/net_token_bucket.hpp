@@ -44,11 +44,24 @@ class NetTokenBucket {
   // all-or-nothing grabs are not atomic (grab then refund), so concurrent
   // callers racing for the last tokens can mutually false-reject even
   // when the pool briefly held enough for one of them.
+  //
+  // tokens == 0 is a defined, trivially successful no-op returning 0 on
+  // every backend: the pool is never touched and the call must not be
+  // read as a rejection (the bucket_consume plan pins the same contract).
   std::uint64_t consume(std::size_t thread_hint, std::uint64_t tokens,
                         bool allow_partial);
 
   // Adds `tokens` to the pool via the backend's batched increment path.
   void refill(std::size_t thread_hint, std::uint64_t tokens);
+
+  // Returns previously consumed tokens to the pool. Count-wise identical
+  // to refill(), but routed through Counter::refund_n so give-backs — the
+  // all-or-nothing shortfall un-consume above, or a QuotaHierarchy release
+  // — are never charged to an adaptive backend's load probe as organic
+  // refill traffic.
+  void refund(std::size_t thread_hint, std::uint64_t tokens) {
+    pool_->refund_n(thread_hint, tokens);
+  }
 
   std::uint64_t stall_count() const { return pool_->stall_count(); }
   std::string name() const { return "bucket·" + pool_->name(); }

@@ -60,9 +60,15 @@ constexpr std::int64_t elimination_pair_value(std::size_t num_slots,
 // grab through `put_n`. Returns tokens actually consumed. NetTokenBucket
 // runs this against a live rt::Counter; the simulator runs it against its
 // virtual-time pool models.
+//
+// tokens == 0 is a defined, trivially successful no-op: neither take_n nor
+// put_n is ever invoked and 0 is returned. (A zero-token request is vacuous
+// in both partial and all-or-nothing modes — "all of nothing" is nothing —
+// so it must not be reported or treated as a rejection.)
 template <class TakeN, class PutN>
 std::uint64_t bucket_consume(std::uint64_t tokens, bool allow_partial,
                              TakeN&& take_n, PutN&& put_n) {
+  if (tokens == 0) return 0;  // the defined no-op, never a backend touch
   std::uint64_t got = 0;
   while (got < tokens) {
     const std::uint64_t grabbed = take_n(tokens - got);
@@ -74,6 +80,107 @@ std::uint64_t bucket_consume(std::uint64_t tokens, bool allow_partial,
     got = 0;
   }
   return got;
+}
+
+// ---------------------------------------------------------------------------
+// Quota-hierarchy decision rules (svc::QuotaHierarchy and the simulator's
+// quota model share these; see sim/multicore.cpp, which drives the same
+// rules in continuation-passing form).
+
+// A tenant's parent-borrow cap under the weighted max-borrow policy: its
+// weight's share of the hierarchy's borrow budget, rounded down. The sum
+// over all tenants never exceeds `budget`, so sizing the budget at most
+// (parent capacity - largest single cost) guarantees a successful
+// reservation always finds its tokens in the parent pool — the isolation
+// property the hierarchy's checks gate on.
+constexpr std::uint64_t weighted_borrow_limit(
+    std::uint64_t budget, std::uint64_t weight,
+    std::uint64_t total_weight) noexcept {
+  if (total_weight == 0) return 0;
+  return static_cast<std::uint64_t>(
+      static_cast<unsigned __int128>(budget) * weight / total_weight);
+}
+
+// How much more a tenant may draw from the parent right now: with
+// `outstanding` tokens already borrowed against `limit`, at most this much
+// of `want` is grantable. Pure arithmetic; the concurrent reservation in
+// QuotaHierarchy CAS-loops over it so `outstanding` can never overshoot the
+// limit, even transiently.
+constexpr std::uint64_t borrow_allowance(std::uint64_t want,
+                                         std::uint64_t outstanding,
+                                         std::uint64_t limit) noexcept {
+  if (outstanding >= limit) return 0;
+  return want < limit - outstanding ? want : limit - outstanding;
+}
+
+// The all-or-nothing settlement of a two-level grab: given what the child
+// and parent takes actually yielded, either the request is fully covered
+// (admitted, keep both parts) or every token goes back to the level it was
+// taken from. tokens == 0 settles as admitted with empty parts — the same
+// defined no-op as bucket_consume's.
+struct QuotaSettlement {
+  bool admitted = false;
+  std::uint64_t refund_child = 0;
+  std::uint64_t refund_parent = 0;
+};
+
+constexpr QuotaSettlement quota_settle(std::uint64_t tokens,
+                                       std::uint64_t from_child,
+                                       std::uint64_t from_parent) noexcept {
+  if (from_child + from_parent == tokens) return {true, 0, 0};
+  return {false, from_child, from_parent};
+}
+
+// Composition of a successful (or rejected) two-level acquire.
+struct QuotaGrantPlan {
+  bool admitted = false;
+  std::uint64_t from_child = 0;   // tokens covered by the tenant's bucket
+  std::uint64_t from_parent = 0;  // tokens borrowed from the shared parent
+};
+
+// The two-level acquire plan: take from the tenant's child bucket first
+// (partial), cover any shortfall from the shared parent only after a
+// successful reservation against the tenant's borrow limit, and on failure
+// refund every token to the level it came from and return the reservation.
+// take_child/take_parent claim up to n and return what they got; reserve(n)
+// returns how much borrow headroom was secured (all-or-nothing decisions
+// need exactly n); unreserve(n) gives headroom back when the grant fails.
+// On success the reservation is kept — it *is* the tenant's outstanding
+// borrow until release().
+template <class TakeChild, class Reserve, class Unreserve, class TakeParent,
+          class PutChild, class PutParent>
+QuotaGrantPlan quota_acquire(std::uint64_t tokens, TakeChild&& take_child,
+                             Reserve&& reserve, Unreserve&& unreserve,
+                             TakeParent&& take_parent, PutChild&& put_child,
+                             PutParent&& put_parent) {
+  QuotaGrantPlan plan;
+  if (tokens == 0) {  // the defined no-op, as in bucket_consume
+    plan.admitted = true;
+    return plan;
+  }
+  const std::uint64_t from_child = take_child(tokens);
+  std::uint64_t from_parent = 0;
+  std::uint64_t reserved = 0;
+  if (from_child < tokens) {
+    const std::uint64_t shortfall = tokens - from_child;
+    reserved = reserve(shortfall);
+    if (reserved == shortfall) from_parent = take_parent(shortfall);
+  }
+  const QuotaSettlement settle = quota_settle(tokens, from_child, from_parent);
+  if (settle.admitted) {
+    plan.admitted = true;
+    plan.from_child = from_child;
+    plan.from_parent = from_parent;
+    return plan;
+  }
+  // Pool before headroom, the same ordering release() documents: the
+  // parent grab must be observable in the pool again before the
+  // reservation frees, or a racing reservation could win headroom whose
+  // tokens are still in flight back and falsely reject.
+  if (settle.refund_parent > 0) put_parent(settle.refund_parent);
+  if (settle.refund_child > 0) put_child(settle.refund_child);
+  if (reserved > 0) unreserve(reserved);
+  return plan;
 }
 
 }  // namespace cnet::svc

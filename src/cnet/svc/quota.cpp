@@ -1,0 +1,134 @@
+#include "cnet/svc/quota.hpp"
+
+#include <utility>
+
+#include "cnet/svc/policy.hpp"
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::svc {
+
+QuotaHierarchy::QuotaHierarchy(const Config& cfg,
+                               std::vector<TenantConfig> tenants)
+    : parent_(make_counter(cfg.parent, cfg.net),
+              NetTokenBucket::Config{cfg.parent_initial_tokens,
+                                     cfg.bucket.refill_chunk}),
+      tenants_(tenants.size()) {
+  CNET_REQUIRE(!tenants.empty(), "at least one tenant");
+  std::uint64_t total_weight = 0;
+  for (const TenantConfig& t : tenants) {
+    CNET_REQUIRE(t.weight > 0, "tenant weight must be positive");
+    total_weight += t.weight;
+  }
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    TenantState& state = tenants_[i];
+    state.bucket = std::make_unique<NetTokenBucket>(
+        make_counter(cfg.child, cfg.net),
+        NetTokenBucket::Config{tenants[i].initial_tokens,
+                               cfg.bucket.refill_chunk});
+    state.weight = tenants[i].weight;
+    state.limit = weighted_borrow_limit(cfg.borrow_budget, tenants[i].weight,
+                                        total_weight);
+  }
+}
+
+std::uint64_t QuotaHierarchy::reserve_borrow(TenantState& tenant,
+                                             std::uint64_t want) {
+  std::uint64_t cur = tenant.borrowed.load(std::memory_order_relaxed);
+  for (;;) {
+    // All-or-nothing, like the acquire plan that consumes it: a partial
+    // reservation is doomed to be returned, and committing it would hold
+    // cap headroom hostage for the whole refund window — long enough to
+    // falsely reject a sibling thread's genuinely in-cap borrow. (The
+    // simulator's quota model makes the same commit-only-if-full
+    // decision.)
+    if (borrow_allowance(want, cur, tenant.limit) < want) return 0;
+    // acq_rel: a winning reservation must observe the parent-pool refund
+    // that preceded the release which freed this headroom (release puts
+    // the tokens back *before* shrinking borrowed).
+    if (tenant.borrowed.compare_exchange_weak(cur, cur + want,
+                                              std::memory_order_acq_rel)) {
+      return want;
+    }
+  }
+}
+
+QuotaHierarchy::Grant QuotaHierarchy::acquire(std::size_t thread_hint,
+                                              std::size_t tenant,
+                                              std::uint64_t tokens) {
+  CNET_REQUIRE(tenant < tenants_.size(), "tenant index out of range");
+  TenantState& state = tenants_[tenant];
+  // The whole flow is the shared svc::quota_acquire plan; only the
+  // concrete take/refund/reserve mechanics live here.
+  const QuotaGrantPlan plan = quota_acquire(
+      tokens,
+      [&](std::uint64_t n) {
+        return state.bucket->consume(thread_hint, n, /*allow_partial=*/true);
+      },
+      [&](std::uint64_t n) { return reserve_borrow(state, n); },
+      [&](std::uint64_t n) {
+        state.borrowed.fetch_sub(n, std::memory_order_release);
+      },
+      [&](std::uint64_t n) {
+        return parent_.consume(thread_hint, n, /*allow_partial=*/true);
+      },
+      [&](std::uint64_t n) { state.bucket->refund(thread_hint, n); },
+      [&](std::uint64_t n) { parent_.refund(thread_hint, n); });
+  Grant grant;
+  grant.admitted = plan.admitted;
+  grant.tenant = static_cast<std::uint32_t>(tenant);
+  grant.from_child = plan.from_child;
+  grant.from_parent = plan.from_parent;
+  return grant;
+}
+
+void QuotaHierarchy::release(std::size_t thread_hint, const Grant& grant) {
+  CNET_REQUIRE(grant.admitted, "release of a rejected grant");
+  CNET_REQUIRE(grant.tenant < tenants_.size(), "grant tenant out of range");
+  TenantState& state = tenants_[grant.tenant];
+  if (grant.from_child > 0) {
+    state.bucket->refund(thread_hint, grant.from_child);
+  }
+  if (grant.from_parent > 0) {
+    // Pool before headroom: once the borrowed tokens are observable in the
+    // parent again, shrinking `borrowed` may let a waiting reservation win
+    // — and it will find what it reserved.
+    parent_.refund(thread_hint, grant.from_parent);
+    state.borrowed.fetch_sub(grant.from_parent, std::memory_order_release);
+  }
+}
+
+void QuotaHierarchy::refill_tenant(std::size_t thread_hint,
+                                   std::size_t tenant, std::uint64_t tokens) {
+  CNET_REQUIRE(tenant < tenants_.size(), "tenant index out of range");
+  tenants_[tenant].bucket->refill(thread_hint, tokens);
+}
+
+std::uint64_t QuotaHierarchy::borrowed(std::size_t tenant) const {
+  CNET_REQUIRE(tenant < tenants_.size(), "tenant index out of range");
+  return tenants_[tenant].borrowed.load(std::memory_order_acquire);
+}
+
+std::uint64_t QuotaHierarchy::borrow_limit(std::size_t tenant) const {
+  CNET_REQUIRE(tenant < tenants_.size(), "tenant index out of range");
+  return tenants_[tenant].limit;
+}
+
+std::uint64_t QuotaHierarchy::weight(std::size_t tenant) const {
+  CNET_REQUIRE(tenant < tenants_.size(), "tenant index out of range");
+  return tenants_[tenant].weight;
+}
+
+NetTokenBucket& QuotaHierarchy::child(std::size_t tenant) {
+  CNET_REQUIRE(tenant < tenants_.size(), "tenant index out of range");
+  return *tenants_[tenant].bucket;
+}
+
+std::uint64_t QuotaHierarchy::stall_count() const {
+  std::uint64_t total = parent_.stall_count();
+  for (const TenantState& state : tenants_) {
+    total += state.bucket->stall_count();
+  }
+  return total;
+}
+
+}  // namespace cnet::svc

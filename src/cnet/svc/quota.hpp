@@ -1,0 +1,135 @@
+// Multi-tenant quota hierarchy over counting-network pools: each tenant
+// owns a NetTokenBucket child, and a shortfall at the child borrows from a
+// shared parent pool (any Counter backend spec, including elim+ fronts and
+// the adaptive kind) under a weighted max-borrow policy — the two-level
+// shape real rate-limit deployments run (per-tenant buckets over a shared
+// cluster budget), and exactly the workload a counting network exists for:
+// many cold tenants and a few hot ones all contending on one parent pool.
+//
+//            ┌────────────── parent pool (shared, any spec) ─────────────┐
+//            │   borrow ≤ weighted limit   ▲ release returns the borrow  │
+//            └───────▲──────────▲──────────┼──────────▲──────────────────┘
+//                    │          │          │          │
+//               child[0]   child[1]      ...     child[T-1]
+//              (NetTokenBucket per tenant; acquire drains child first)
+//
+// Conservation is exact and level-local: every token in a grant is
+// traceable to the tenant's child bucket or to a parent borrow
+// (Grant::from_child / from_parent), and release() returns each part to
+// the level it came from — the parent can never absorb a child's tokens or
+// vice versa, so at quiescence each pool holds exactly its refills minus
+// its outstanding grants.
+//
+// Isolation comes from the reservation: a tenant's outstanding parent
+// borrow can never exceed its weighted limit, not even transiently (the
+// reservation CAS-loops over svc::borrow_allowance rather than
+// add-then-correct). Size the borrow budget at most the parent's capacity
+// minus the largest single acquire cost and a successful reservation is
+// guaranteed to find its tokens in the parent — a hot tenant saturating
+// its cap cannot make a cold tenant's in-cap borrow fail.
+//
+// The decision rules (weighted_borrow_limit, borrow_allowance,
+// quota_acquire/quota_settle) live in svc/policy.hpp and are shared with
+// the virtual-time simulator's quota model (sim::simulate_quota), so
+// tenant-isolation and parent-contention claims are reproducible
+// deterministically on any host.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cnet/svc/backend.hpp"
+#include "cnet/svc/net_token_bucket.hpp"
+#include "cnet/util/cacheline.hpp"
+
+namespace cnet::svc {
+
+class QuotaHierarchy {
+ public:
+  struct TenantConfig {
+    std::uint64_t initial_tokens = 0;  // child bucket's starting pool
+    std::uint64_t weight = 1;          // share of the parent borrow budget
+  };
+
+  struct Config {
+    // Parent pool backend — the shared, contended structure. Any spec,
+    // including "elim+..." and "adaptive".
+    BackendSpec parent{BackendKind::kBatchedNetwork, false};
+    // Per-tenant child bucket backend. Children see only their own
+    // tenant's traffic, so the cheap central word is the right default.
+    BackendSpec child{BackendKind::kCentralAtomic, false};
+    BackendConfig net;               // network shape for network kinds
+    NetTokenBucket::Config bucket;   // refill chunking for every bucket
+    std::uint64_t parent_initial_tokens = 0;
+    // Total parent tokens that may be out on loan at once, divided among
+    // tenants by weight (weighted_borrow_limit). For the isolation
+    // guarantee, keep it <= parent capacity - largest single acquire.
+    std::uint64_t borrow_budget = 0;
+  };
+
+  // One admission outcome. A grant's parts record which level covered it;
+  // release() needs the whole struct back to undo it exactly.
+  struct Grant {
+    bool admitted = false;
+    std::uint32_t tenant = 0;
+    std::uint64_t from_child = 0;
+    std::uint64_t from_parent = 0;
+    std::uint64_t tokens() const noexcept { return from_child + from_parent; }
+  };
+
+  QuotaHierarchy(const Config& cfg, std::vector<TenantConfig> tenants);
+
+  // All-or-nothing: `tokens` from the tenant's child bucket first, the
+  // shortfall borrowed from the parent within the tenant's weighted limit;
+  // on any shortfall everything is refunded to the level it came from and
+  // the grant is rejected. tokens == 0 is a defined no-op that admits with
+  // empty parts (same contract as NetTokenBucket::consume).
+  Grant acquire(std::size_t thread_hint, std::size_t tenant,
+                std::uint64_t tokens);
+
+  // Returns a grant's tokens: the child part to the tenant's bucket, the
+  // parent part to the parent pool (pool first, then the borrow headroom,
+  // so a concurrent reservation that wins the freed headroom always finds
+  // the tokens already back in the pool). Both go through the refund path,
+  // invisible to an adaptive backend's load probe.
+  void release(std::size_t thread_hint, const Grant& grant);
+
+  // Capacity additions (these *are* load, unlike release's give-backs).
+  void refill_tenant(std::size_t thread_hint, std::size_t tenant,
+                     std::uint64_t tokens);
+  void refill_parent(std::size_t thread_hint, std::uint64_t tokens) {
+    parent_.refill(thread_hint, tokens);
+  }
+
+  std::size_t num_tenants() const noexcept { return tenants_.size(); }
+  // Tokens tenant `t` currently has on loan from the parent. Bounded by
+  // borrow_limit(t) at every instant.
+  std::uint64_t borrowed(std::size_t tenant) const;
+  std::uint64_t borrow_limit(std::size_t tenant) const;
+  std::uint64_t weight(std::size_t tenant) const;
+
+  NetTokenBucket& parent() noexcept { return parent_; }
+  NetTokenBucket& child(std::size_t tenant);
+  std::uint64_t stall_count() const;
+  std::string name() const { return "quota·" + parent_.pool().name(); }
+
+ private:
+  struct alignas(util::kCacheLine) TenantState {
+    std::unique_ptr<NetTokenBucket> bucket;
+    std::uint64_t weight = 1;
+    std::uint64_t limit = 0;
+    std::atomic<std::uint64_t> borrowed{0};
+  };
+
+  // Secures up to `want` borrow headroom for the tenant; the CAS loop over
+  // borrow_allowance keeps borrowed <= limit an always-true invariant.
+  std::uint64_t reserve_borrow(TenantState& tenant, std::uint64_t want);
+
+  NetTokenBucket parent_;
+  std::vector<TenantState> tenants_;
+};
+
+}  // namespace cnet::svc

@@ -1,0 +1,68 @@
+// bench::run_loadgen's minimum-iterations floor: a measurement window that
+// closes before a thread has run (routine on a loaded CI box with smoke
+// windows) must not produce zero-op tallies — every thread tops up to the
+// floor after the window, so smoke-mode tables and the invariant checks
+// computed over them can never pass vacuously on an empty run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "support/loadgen.hpp"
+
+namespace cnet::bench {
+namespace {
+
+TEST(LoadGen, FloorGuaranteesMeasuredOpsInAZeroLengthWindow) {
+  // The degenerate window: zero seconds of measurement. Without the floor
+  // this frequently yields total_ops == 0; with it, every thread must
+  // deliver its quota.
+  LoadGenConfig cfg;
+  cfg.threads = 3;
+  cfg.warmup_seconds = 0.0;
+  cfg.measure_seconds = 0.0;
+  cfg.min_ops_per_thread = 32;
+  cfg.latency_sample_every = 0;
+  std::atomic<std::uint64_t> calls{0};
+  const auto result = run_loadgen(cfg, [&](std::size_t) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    return std::uint64_t{1};
+  });
+  EXPECT_EQ(result.threads, 3u);
+  EXPECT_GE(result.total_ops, 3u * 32u);
+  EXPECT_GE(result.min_thread_ops, 32u) << "a thread stopped below the floor";
+  EXPECT_GT(result.seconds, 0.0) << "rate would divide by zero";
+  EXPECT_GE(calls.load(), result.total_ops);
+}
+
+TEST(LoadGen, DefaultFloorIsOneOpPerThread) {
+  LoadGenConfig cfg;
+  cfg.threads = 2;
+  cfg.warmup_seconds = 0.0;
+  cfg.measure_seconds = 0.0;
+  cfg.latency_sample_every = 0;
+  const auto result = run_loadgen(cfg, [&](std::size_t) {
+    return std::uint64_t{1};
+  });
+  EXPECT_GE(result.min_thread_ops, 1u);
+  EXPECT_GE(result.total_ops, 2u);
+}
+
+TEST(LoadGen, NormalWindowsStillMeasureThroughput) {
+  // A sanity run with a real window: ops flow and the rate is positive.
+  LoadGenConfig cfg;
+  cfg.threads = 2;
+  cfg.warmup_seconds = 0.01;
+  cfg.measure_seconds = 0.05;
+  cfg.min_ops_per_thread = 1;
+  cfg.latency_sample_every = 16;
+  const auto result = run_loadgen(cfg, [&](std::size_t) {
+    return std::uint64_t{2};  // 2 logical ops per call
+  });
+  EXPECT_GT(result.total_ops, 0u);
+  EXPECT_GT(result.ops_per_sec, 0.0);
+  EXPECT_TRUE(result.has_latency);
+  EXPECT_LE(result.min_thread_ops, result.max_thread_ops);
+}
+
+}  // namespace
+}  // namespace cnet::bench

@@ -140,6 +140,71 @@ TEST(MulticoreSim, EliminationPairsUnderContendedMix) {
   EXPECT_TRUE(r.conserved);
 }
 
+// The bench's exact Table D' workload (quota_sim_reference_config is
+// shared so the CI-gated checks and these tests cannot drift apart).
+QuotaSimConfig quota_config(std::size_t cores) {
+  return quota_sim_reference_config(cores);
+}
+
+TEST(QuotaSim, GoldenSeedDeterminism) {
+  for (const auto& spec : multicore_sweep_specs()) {
+    const auto a = simulate_quota(spec, quota_config(16));
+    const auto b = simulate_quota(spec, quota_config(16));
+    SCOPED_TRACE(svc::backend_spec_name(spec));
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.goodput_per_vtime, b.goodput_per_vtime);
+    EXPECT_EQ(a.acquire_ops, b.acquire_ops);
+    EXPECT_EQ(a.admitted, b.admitted);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.parent_stalls, b.parent_stalls);
+    EXPECT_EQ(a.child_stalls, b.child_stalls);
+    EXPECT_EQ(a.admitted_per_tenant, b.admitted_per_tenant);
+    EXPECT_EQ(a.peak_borrowed_per_tenant, b.peak_borrowed_per_tenant);
+  }
+}
+
+TEST(QuotaSim, ConservesAndIsolatesForEverySpec) {
+  for (const auto& spec : multicore_sweep_specs()) {
+    for (const std::size_t cores : {4u, 64u}) {
+      const auto r = simulate_quota(spec, quota_config(cores));
+      SCOPED_TRACE(svc::backend_spec_name(spec) + " @ " +
+                   std::to_string(cores));
+      EXPECT_TRUE(r.conserved);
+      EXPECT_TRUE(r.isolation);
+      EXPECT_EQ(r.cold_rejected, 0u);
+      EXPECT_EQ(r.acquire_ops, cores * 512);
+      // Peak borrow never pierced a weighted cap.
+      for (std::size_t t = 0; t < r.peak_borrowed_per_tenant.size(); ++t) {
+        EXPECT_LE(r.peak_borrowed_per_tenant[t], r.limit_per_tenant[t]);
+      }
+    }
+  }
+}
+
+TEST(QuotaSim, HotTenantSaturatesItsCapAtScale) {
+  // 48 of 64 cores hammer tenant 0: its demand far exceeds child + cap,
+  // so the weighted limit must be pinned and the overflow rejected —
+  // while every cold tenant stays inside its own cap, rejection-free.
+  const auto r = simulate_quota({svc::BackendKind::kNetwork, false},
+                                quota_config(64));
+  EXPECT_GT(r.hot_rejected, 0u);
+  EXPECT_EQ(r.cold_rejected, 0u);
+  EXPECT_EQ(r.peak_borrowed_per_tenant[0], r.limit_per_tenant[0]);
+  EXPECT_TRUE(r.conserved);
+}
+
+TEST(QuotaSim, ParentContentionOrderingMatchesThePaper) {
+  const svc::BackendSpec central{svc::BackendKind::kCentralAtomic, false};
+  const svc::BackendSpec network{svc::BackendKind::kNetwork, false};
+  // Uncontended the central parent wins; at 64 cores every hot acquire
+  // funnels through the shared parent and the network parent admits more
+  // grants per unit virtual time.
+  EXPECT_GT(simulate_quota(central, quota_config(4)).goodput_per_vtime,
+            simulate_quota(network, quota_config(4)).goodput_per_vtime);
+  EXPECT_GE(simulate_quota(network, quota_config(64)).goodput_per_vtime,
+            simulate_quota(central, quota_config(64)).goodput_per_vtime);
+}
+
 TEST(MulticoreSim, RejectsWhenThePoolRunsDry) {
   // No initial tokens and a huge refill cadence: every consume before the
   // first refill must be rejected, never over-admitted.

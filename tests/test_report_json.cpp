@@ -5,8 +5,10 @@
 // the remaining C0 range, and pass-through for multibyte UTF-8.
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 
+#include "cnet/util/table.hpp"
 #include "support/report.hpp"
 
 namespace cnet::bench {
@@ -59,6 +61,22 @@ TEST(JsonEscape, EscapedOutputContainsNoRawControls) {
   for (const char c : out) {
     EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
   }
+}
+
+TEST(Report, EmptyTableFailsTheRunLoudly) {
+  // A sweep that emits zero rows passed its checks vacuously; emit() must
+  // record it as a failed named check so the driver exits nonzero. (The
+  // report state is process-global, so this single test covers both the
+  // clean path and the failure path, in that order.)
+  ReportOptions opts;  // no --json: the exit-code gate alone must fire
+  std::ostringstream sink;
+  util::Table full({"col"});
+  full.add_row({"value"});
+  emit(full, opts, sink);
+  EXPECT_EQ(finish(opts), 0) << "a populated table tripped the gate";
+  util::Table empty({"col"});
+  emit(empty, opts, sink);
+  EXPECT_NE(finish(opts), 0) << "an empty table passed silently";
 }
 
 }  // namespace

@@ -4,11 +4,13 @@
 // and trigger off the LoadStats probe without any cooperation from callers.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
 #include "cnet/svc/adaptive.hpp"
 #include "cnet/svc/backend.hpp"
+#include "cnet/svc/net_token_bucket.hpp"
 #include "cnet/util/prng.hpp"
 
 namespace cnet::svc {
@@ -126,6 +128,71 @@ TEST(AdaptiveCounter, BulkConsumeChargesTheTokenCountNotOneOp) {
   // Empty-pool attempt: one op for the failed claim.
   EXPECT_EQ(counter.try_fetch_decrement_n(0, 64), 0u);
   EXPECT_EQ(counter.stats().ops(), 129u);
+}
+
+TEST(AdaptiveCounter, RefundStormDoesNotFeedTheSwitchProbe) {
+  // Regression (deterministic, fails pre-fix): an all-or-nothing shortfall
+  // used to refund through refill -> fetch_increment_batch, charging the
+  // refunded tokens to LoadStats as completed ops — so a pure-reject storm
+  // (which admitted nothing) pumped the sampled window toward a spurious
+  // switch. The refund path must be invisible to the probe.
+  auto counter = std::make_unique<AdaptiveCounter>();
+  auto* adaptive = counter.get();
+  NetTokenBucket bucket(std::move(counter), {.initial_tokens = 5});
+  const std::uint64_t base = adaptive->stats().ops();  // the initial refill
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(bucket.consume(0, 10, /*allow_partial=*/false), 0u);
+  }
+  // Each rejected consume is charged for its take side only: a 5-token
+  // grab plus the conclusive empty miss (1 op) — never the 5-token refund.
+  // Pre-fix each iteration charged 11 ops (6 take + 5 refund).
+  EXPECT_EQ(adaptive->stats().ops(), base + 100 * 6)
+      << "refund traffic leaked into the load probe";
+  EXPECT_FALSE(adaptive->switched());
+  // The storm moved nothing: the pool still holds exactly its 5 tokens.
+  EXPECT_EQ(bucket.consume(0, 5, /*allow_partial=*/false), 5u);
+}
+
+TEST(AdaptiveCounter, RefundNReturnsTokensWithoutOpCharge) {
+  AdaptiveCounter counter;
+  EXPECT_EQ(counter.try_fetch_decrement_n(0, 4), 0u);  // empty: 1 op
+  const std::uint64_t base = counter.stats().ops();
+  counter.refund_n(0, 40);
+  EXPECT_EQ(counter.stats().ops(), base) << "refund_n charged the probe";
+  EXPECT_EQ(counter.try_fetch_decrement_n(0, 100), 40u);
+  // ... and the refunded tokens survive a switch like any others.
+  counter.refund_n(0, 7);
+  counter.force_switch(0);
+  EXPECT_EQ(counter.try_fetch_decrement_n(0, 100), 7u);
+}
+
+TEST(AdaptiveCounter, ConcurrentRefundStormKeepsTheProbeQuietUnderTsan) {
+  // The TSan face of the regression: refilling and reject-storming threads
+  // race on the refund path while the probe samples. The bucket must stay
+  // conserved and the probe must only ever see take-side charges (ops
+  // strictly below what the pre-fix double charge would produce).
+  auto counter = std::make_unique<AdaptiveCounter>();
+  auto* adaptive = counter.get();
+  NetTokenBucket bucket(std::move(counter), {.initial_tokens = 3});
+  constexpr std::size_t kThreads = 4;
+  constexpr int kIters = 2000;
+  std::atomic<std::uint64_t> admitted{0};
+  {
+    std::vector<std::jthread> workers;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        for (int i = 0; i < kIters; ++i) {
+          // Oversized all-or-nothing requests: almost every call is a
+          // grab-then-refund reject.
+          admitted.fetch_add(bucket.consume(t, 8, /*allow_partial=*/false),
+                             std::memory_order_relaxed);
+        }
+      });
+    }
+  }
+  std::uint64_t drained = 0;
+  while (bucket.consume(0, 1, /*allow_partial=*/true) == 1) ++drained;
+  EXPECT_EQ(admitted.load() + drained, 3u) << "refund path lost tokens";
 }
 
 TEST(AdaptiveCounter, FactoryBuildsAndComposesWithElimination) {

@@ -131,6 +131,44 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, BucketBackends,
                          ::testing::ValuesIn(kAllBackendKinds),
                          test::backend_param_name);
 
+// Spec-level coverage (every pool kind, plain and elim+): the zero-token
+// contract and the shortfall-refund path must behave identically on every
+// composition the factory can produce.
+class BucketSpecs : public ::testing::TestWithParam<BackendSpec> {};
+
+TEST_P(BucketSpecs, ZeroTokenConsumeIsATrivialNoOp) {
+  // Regression: consume(hint, 0, ...) was undefined by the bucket_consume
+  // plan (AdmissionController only guards cost > 0 at its own layer). It
+  // is now a defined no-op: returns 0, succeeds, and never touches the
+  // backend — in both partial and all-or-nothing modes, even on an empty
+  // pool.
+  NetTokenBucket bucket(make_counter(GetParam()), {.initial_tokens = 4});
+  const std::uint64_t traversals_before = bucket.pool().traversal_count();
+  EXPECT_EQ(bucket.consume(0, 0, /*allow_partial=*/false), 0u);
+  EXPECT_EQ(bucket.consume(1, 0, /*allow_partial=*/true), 0u);
+  EXPECT_EQ(bucket.pool().traversal_count(), traversals_before)
+      << "a zero-token consume reached the backend";
+  EXPECT_EQ(drain(bucket), 4u);  // the pool is untouched
+  // ... and on the now-empty pool as well.
+  EXPECT_EQ(bucket.consume(0, 0, /*allow_partial=*/false), 0u);
+  EXPECT_EQ(bucket.consume(0, 0, /*allow_partial=*/true), 0u);
+}
+
+TEST_P(BucketSpecs, ShortfallRefundConservesThePool) {
+  // A storm of oversized all-or-nothing consumes: every call grabs the
+  // partial pool and must put it back through the refund path, leaving
+  // the pool bit-exact.
+  NetTokenBucket bucket(make_counter(GetParam()), {.initial_tokens = 7});
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(bucket.consume(i % 4, 100, /*allow_partial=*/false), 0u);
+  }
+  EXPECT_EQ(drain(bucket), 7u) << "the refund path minted or lost tokens";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, BucketSpecs,
+                         ::testing::ValuesIn(test::all_pool_backend_specs()),
+                         test::backend_spec_param_name);
+
 // A backend without take-back support: consume must degrade to "always
 // empty" rather than over-admit.
 class NoTakebackCounter final : public rt::Counter {

@@ -71,6 +71,21 @@ TEST(BucketPolicy, PartialGrabAllowed) {
   EXPECT_EQ(refunds, 0u);
 }
 
+TEST(BucketPolicy, ZeroTokensIsADefinedNoOp) {
+  // Regression: tokens == 0 was undefined by the plan. It must succeed
+  // trivially — return 0 without ever invoking take or put, in both modes.
+  std::uint64_t takes = 0, puts = 0;
+  const auto take = [&](std::uint64_t) -> std::uint64_t {
+    ++takes;
+    return 0;
+  };
+  const auto put = [&](std::uint64_t) { ++puts; };
+  EXPECT_EQ(bucket_consume(0, /*allow_partial=*/false, take, put), 0u);
+  EXPECT_EQ(bucket_consume(0, /*allow_partial=*/true, take, put), 0u);
+  EXPECT_EQ(takes, 0u);
+  EXPECT_EQ(puts, 0u);
+}
+
 TEST(BucketPolicy, AllOrNothingRefundsTheShortfall) {
   std::uint64_t pool = 10;
   std::uint64_t refunds = 0;
@@ -91,6 +106,115 @@ TEST(BucketPolicy, AllOrNothingRefundsTheShortfall) {
   // An observably empty pool consumes nothing and refunds nothing.
   EXPECT_EQ(bucket_consume(4, /*allow_partial=*/false, take, put), 0u);
   EXPECT_EQ(refunds, 0u);
+}
+
+TEST(QuotaPolicy, WeightedLimitsPartitionTheBudget) {
+  // Rounded down per tenant, so the limits can never sum past the budget.
+  EXPECT_EQ(weighted_borrow_limit(12, 2, 4), 6u);
+  EXPECT_EQ(weighted_borrow_limit(12, 1, 4), 3u);
+  EXPECT_EQ(weighted_borrow_limit(10, 1, 3), 3u);  // floor(10/3)
+  EXPECT_EQ(weighted_borrow_limit(10, 0, 3), 0u);
+  EXPECT_EQ(weighted_borrow_limit(10, 3, 0), 0u);  // degenerate: no weights
+  // Large budgets survive the intermediate product (128-bit inside).
+  EXPECT_EQ(weighted_borrow_limit(1ull << 60, 3, 4), 3ull << 58);
+}
+
+TEST(QuotaPolicy, BorrowAllowanceClampsAtTheLimit) {
+  EXPECT_EQ(borrow_allowance(5, 0, 8), 5u);   // fully inside the cap
+  EXPECT_EQ(borrow_allowance(5, 6, 8), 2u);   // clipped to the headroom
+  EXPECT_EQ(borrow_allowance(5, 8, 8), 0u);   // saturated
+  EXPECT_EQ(borrow_allowance(5, 9, 8), 0u);   // never negative headroom
+  EXPECT_EQ(borrow_allowance(0, 3, 8), 0u);
+}
+
+TEST(QuotaPolicy, SettlementIsAllOrNothingPerLevel) {
+  const auto full = quota_settle(5, 2, 3);
+  EXPECT_TRUE(full.admitted);
+  EXPECT_EQ(full.refund_child, 0u);
+  EXPECT_EQ(full.refund_parent, 0u);
+  const auto shortfall = quota_settle(5, 2, 1);
+  EXPECT_FALSE(shortfall.admitted);
+  EXPECT_EQ(shortfall.refund_child, 2u);   // back to the child
+  EXPECT_EQ(shortfall.refund_parent, 1u);  // back to the parent
+  // The zero-token no-op settles as admitted with empty parts.
+  EXPECT_TRUE(quota_settle(0, 0, 0).admitted);
+}
+
+// A tiny synchronous harness for the full acquire plan: two integer pools
+// and a reservation ledger, mirroring what QuotaHierarchy wires in.
+struct PlanHarness {
+  std::uint64_t child, parent, borrowed, limit;
+  std::uint64_t reserves = 0, unreserves = 0;
+
+  QuotaGrantPlan acquire(std::uint64_t tokens) {
+    return quota_acquire(
+        tokens,
+        [&](std::uint64_t n) {
+          const std::uint64_t got = std::min(n, child);
+          child -= got;
+          return got;
+        },
+        [&](std::uint64_t n) {
+          const std::uint64_t ok = borrow_allowance(n, borrowed, limit);
+          borrowed += ok;
+          reserves += ok;
+          return ok;
+        },
+        [&](std::uint64_t n) {
+          borrowed -= n;
+          unreserves += n;
+        },
+        [&](std::uint64_t n) {
+          const std::uint64_t got = std::min(n, parent);
+          parent -= got;
+          return got;
+        },
+        [&](std::uint64_t n) { child += n; },
+        [&](std::uint64_t n) { parent += n; });
+  }
+};
+
+TEST(QuotaPolicy, AcquireTakesChildFirstThenBorrows) {
+  PlanHarness h{.child = 2, .parent = 10, .borrowed = 0, .limit = 5};
+  const auto plan = h.acquire(6);
+  EXPECT_TRUE(plan.admitted);
+  EXPECT_EQ(plan.from_child, 2u);
+  EXPECT_EQ(plan.from_parent, 4u);
+  EXPECT_EQ(h.child, 0u);
+  EXPECT_EQ(h.parent, 6u);
+  EXPECT_EQ(h.borrowed, 4u);  // the reservation is the outstanding borrow
+  EXPECT_EQ(h.unreserves, 0u);
+}
+
+TEST(QuotaPolicy, AcquireOverTheLimitRefundsAndUnreserves) {
+  // Shortfall 6 against headroom 3: the reservation fails, the child grab
+  // goes back, the parent is never touched.
+  PlanHarness h{.child = 2, .parent = 10, .borrowed = 2, .limit = 5};
+  const auto plan = h.acquire(8);
+  EXPECT_FALSE(plan.admitted);
+  EXPECT_EQ(h.child, 2u);
+  EXPECT_EQ(h.parent, 10u);
+  EXPECT_EQ(h.borrowed, 2u);
+  EXPECT_EQ(h.reserves, h.unreserves);  // every reservation returned
+}
+
+TEST(QuotaPolicy, AcquireAgainstAShortParentRefundsBothLevels) {
+  PlanHarness h{.child = 1, .parent = 2, .borrowed = 0, .limit = 8};
+  const auto plan = h.acquire(5);  // needs 4 from a parent holding 2
+  EXPECT_FALSE(plan.admitted);
+  EXPECT_EQ(h.child, 1u);
+  EXPECT_EQ(h.parent, 2u);
+  EXPECT_EQ(h.borrowed, 0u);
+}
+
+TEST(QuotaPolicy, AcquireZeroAdmitsWithoutTouchingAnything) {
+  PlanHarness h{.child = 3, .parent = 4, .borrowed = 1, .limit = 5};
+  const auto plan = h.acquire(0);
+  EXPECT_TRUE(plan.admitted);
+  EXPECT_EQ(plan.from_child + plan.from_parent, 0u);
+  EXPECT_EQ(h.child, 3u);
+  EXPECT_EQ(h.parent, 4u);
+  EXPECT_EQ(h.borrowed, 1u);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <string>
+#include <vector>
 
 #include "cnet/svc/backend.hpp"
 
@@ -19,6 +20,26 @@ inline std::string backend_param_name(
   std::string name = svc::backend_kind_name(pinfo.param);
   std::replace(name.begin(), name.end(), '-', '_');
   return name;
+}
+
+// Same for full backend specs ("elim_central_atomic", ...).
+inline std::string backend_spec_param_name(
+    const ::testing::TestParamInfo<svc::BackendSpec>& pinfo) {
+  std::string name = svc::backend_spec_name(pinfo.param);
+  std::replace(name.begin(), name.end(), '-', '_');
+  std::replace(name.begin(), name.end(), '+', '_');
+  return name;
+}
+
+// Every pool-capable kind plain and behind the elimination front-end —
+// the axis for suites that must cover "all backends including elim+".
+inline std::vector<svc::BackendSpec> all_pool_backend_specs() {
+  std::vector<svc::BackendSpec> specs;
+  for (const svc::BackendKind kind : svc::kPoolBackendKinds) {
+    specs.push_back({kind, false});
+    specs.push_back({kind, true});
+  }
+  return specs;
 }
 
 }  // namespace cnet::test
