@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -21,6 +22,7 @@ struct JsonState {
   };
   std::vector<CapturedTable> tables;
   std::vector<std::pair<std::string, bool>> checks;
+  std::set<std::string> check_names;
 };
 
 JsonState& json_state() {
@@ -148,11 +150,28 @@ void note(const std::string& text, const ReportOptions& opts) {
 }
 
 void check(const std::string& name, bool passed, const ReportOptions&) {
-  json_state().checks.emplace_back(name, passed);
+  JsonState& state = json_state();
+  if (!state.check_names.insert(name).second) {
+    // The repeated reading is dropped (recording it would put duplicate
+    // keys in the JSON checks object, where a later pass can shadow an
+    // earlier failure) and replaced by a failed sentinel, so the run exits
+    // nonzero regardless of what the shadowing reading said.
+    std::fprintf(stderr,
+                 "DUPLICATE CHECK NAME: %s (reading %s dropped)\n",
+                 name.c_str(), passed ? "pass" : "FAIL");
+    const std::string sentinel = "duplicate_check_name[" + name + "]";
+    if (state.check_names.insert(sentinel).second) {
+      state.checks.emplace_back(sentinel, false);
+    }
+    return;
+  }
+  state.checks.emplace_back(name, passed);
   if (!passed) {
     std::fprintf(stderr, "CHECK FAILED: %s\n", name.c_str());
   }
 }
+
+void reset_for_testing() { json_state() = JsonState{}; }
 
 int finish(const ReportOptions& opts) {
   if (!opts.json_path.empty()) {

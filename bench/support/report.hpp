@@ -52,7 +52,20 @@ void note(const std::string& text, const ReportOptions& opts);
 // Records a named invariant check (e.g. "conservation"). Failed checks make
 // finish() return nonzero, so CI can gate on bench invariants without
 // parsing output; they are also echoed to stderr immediately.
+//
+// Names are unique per run: the JSON sink renders checks as an object, so a
+// repeated name would produce duplicate keys and a later passing reading
+// could silently mask an earlier failure in whatever parses the artifact.
+// A duplicate is therefore rejected loudly — the repeated reading is echoed
+// to stderr but not recorded, and a synthetic failed check
+// "duplicate_check_name[NAME]" is recorded in its place, so the run exits
+// nonzero no matter what the shadowing reading said.
 void check(const std::string& name, bool passed, const ReportOptions& opts);
+
+// Clears the process-global report state (sections, captured tables,
+// checks). Bench drivers never need this — it exists so test_report_json
+// can run several independent report lifecycles in one process.
+void reset_for_testing();
 
 // Writes the JSON report when --json was given and returns the driver's
 // exit code: 0 when every recorded check passed, 1 otherwise. Call as the

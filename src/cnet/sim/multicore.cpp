@@ -637,6 +637,17 @@ class AdaptiveModel final : public CounterModel {
   double switch_time() const { return switch_time_; }
   std::uint64_t ops_at_switch() const { return ops_at_switch_; }
 
+  // The force-eliminate actuation (AdaptiveCounter::force_switch's model
+  // counterpart): take the cold→hot swap now regardless of the stall
+  // window, with the same exact pool migration as the organic switch.
+  void force_switch_now() {
+    if (switched_) return;
+    switched_ = true;
+    switch_time_ = eng_.now();
+    ops_at_switch_ = ops_;
+    hot_->inject_pool_now(cold_->drain_pool_now());
+  }
+
  private:
   CounterModel& active() { return switched_ ? *hot_ : *cold_; }
 
@@ -1086,6 +1097,387 @@ QuotaSimResult simulate_quota(const svc::BackendSpec& parent_spec,
   }
   res.conserved = quiescent_exact;
   res.isolation = !cap_violated && res.cold_rejected == 0;
+
+  for (const CoreState& core : cores) {
+    CNET_ENSURE(core.ops_done == cfg.ops_per_core,
+                "simulated core finished early");
+  }
+  return res;
+}
+
+OverloadSimConfig overload_sim_reference_config() {
+  OverloadSimConfig cfg;
+  cfg.base.exponential_service = true;
+  cfg.base.seed = 0xB10C0DE;
+  return cfg;
+}
+
+OverloadSimResult simulate_overload(const svc::BackendSpec& parent_spec,
+                                    const OverloadSimConfig& cfg) {
+  CNET_REQUIRE(cfg.cores >= 1, "need at least one simulated core");
+  CNET_REQUIRE(cfg.tenants >= 1, "need at least one tenant");
+  CNET_REQUIRE(cfg.hot_tenants <= cfg.tenants,
+               "hot tenants cannot exceed tenants");
+  CNET_REQUIRE(cfg.ops_per_core >= 1, "need at least one op per core");
+  CNET_REQUIRE(cfg.acquire_cost >= 1, "acquire cost must be positive");
+  CNET_REQUIRE(cfg.hot_weight > 0 && cfg.cold_weight > 0,
+               "weights must be positive");
+  CNET_REQUIRE(cfg.hold_time >= 0.0 && cfg.think_time >= 0.0 &&
+                   cfg.core_start_stagger >= 0.0,
+               "delays must be nonnegative");
+  CNET_REQUIRE(cfg.sample_every > 0.0, "sample cadence must be positive");
+  CNET_REQUIRE(cfg.stall_saturation > 0.0,
+               "stall saturation rate must be positive");
+  CNET_REQUIRE(cfg.shed_fraction >= 0.0 && cfg.shed_fraction <= 1.0,
+               "shed_fraction must be in [0, 1]");
+
+  Engine eng;
+  util::Xoshiro256 rng(cfg.base.seed);
+  ModelStack parent_stack = make_model(parent_spec, eng, cfg.base, rng);
+  CounterModel& parent = *parent_stack.root;
+  parent.inject_pool_now(cfg.parent_initial);
+
+  std::vector<std::unique_ptr<CounterModel>> children;
+  children.reserve(cfg.tenants);
+  for (std::size_t t = 0; t < cfg.tenants; ++t) {
+    children.push_back(std::make_unique<CentralModel>(
+        eng, cfg.base.central_slope,
+        ServiceDraw(cfg.base.central_service, cfg.base.exponential_service,
+                    rng),
+        /*empty_read_fast_path=*/true));
+    children.back()->inject_pool_now(cfg.child_initial);
+  }
+
+  // Core pinning and weighted limits, exactly as simulate_quota.
+  const std::size_t cold_tenants = cfg.tenants - cfg.hot_tenants;
+  std::size_t hot_cores =
+      cfg.hot_tenants == 0
+          ? 0
+          : static_cast<std::size_t>(
+                static_cast<double>(cfg.cores) * cfg.hot_core_share + 0.5);
+  if (cfg.hot_tenants > 0 && hot_cores < cfg.hot_tenants) {
+    hot_cores = cfg.hot_tenants;
+  }
+  if (cold_tenants == 0) hot_cores = cfg.cores;
+  hot_cores = std::min(hot_cores, cfg.cores);
+  std::vector<std::size_t> tenant_of(cfg.cores);
+  for (std::size_t c = 0; c < cfg.cores; ++c) {
+    tenant_of[c] = c < hot_cores
+                       ? c % cfg.hot_tenants
+                       : cfg.hot_tenants + (c - hot_cores) % cold_tenants;
+  }
+  std::uint64_t total_weight = 0;
+  std::vector<std::uint64_t> weights(cfg.tenants);
+  for (std::size_t t = 0; t < cfg.tenants; ++t) {
+    weights[t] = t < cfg.hot_tenants ? cfg.hot_weight : cfg.cold_weight;
+    total_weight += weights[t];
+  }
+  std::vector<std::uint64_t> limits(cfg.tenants);
+  std::uint64_t total_limit = 0;
+  for (std::size_t t = 0; t < cfg.tenants; ++t) {
+    limits[t] = svc::weighted_borrow_limit(cfg.borrow_budget, weights[t],
+                                           total_weight);
+    total_limit += limits[t];
+  }
+
+  OverloadSimResult res;
+  res.shed_rejects_per_tenant.assign(cfg.tenants, 0);
+
+  std::vector<std::uint64_t> borrowed(cfg.tenants, 0);
+  struct CoreState {
+    std::size_t ops_done = 0;
+  };
+  std::vector<CoreState> cores(cfg.cores);
+  std::size_t active_cores = cfg.cores;
+  double makespan = 0.0;
+  const auto touch = [&] { makespan = std::max(makespan, eng.now()); };
+
+  // Manager state: the tier in force and its action table. Both are read
+  // by the workload at decision points, exactly as the real components
+  // read OverloadManager::actions().
+  svc::OverloadTier tier = svc::OverloadTier::kNominal;
+  svc::OverloadActions actions;  // defaults == nominal
+
+  // Outstanding-grant registry for exact shed refunds. A grant is refunded
+  // exactly once: either by its hold-expiry event or — if a shed sweep got
+  // there first — by the force-refund, with the expiry finding `released`
+  // set and doing nothing. (The engine cannot cancel scheduled events, so
+  // the flag is the cancellation.) Deque: references stay valid across
+  // push_back, which the in-flight continuations rely on.
+  struct GrantRec {
+    std::size_t tenant = 0;
+    std::uint64_t from_child = 0;
+    std::uint64_t from_parent = 0;
+    bool released = false;
+  };
+  std::deque<GrantRec> grants;
+  // Per-tenant indices of possibly-live grants, cleaned lazily (a shed
+  // sweep skips entries whose grant was already released).
+  std::vector<std::vector<std::size_t>> held(cfg.tenants);
+  std::vector<char> shed_flag(cfg.tenants, 0);
+  std::vector<std::size_t> currently_shed;
+
+  // kShrinkBatch actuation: refunds return in chunks of
+  // max(1, n / batch_divisor) — several short exclusive holds instead of
+  // one bulk traversal. Divisor 1 (nominal) degenerates to a single call.
+  std::function<void(CounterModel*, std::size_t, std::uint64_t, Done)>
+      refund_chunked = [&](CounterModel* model, std::size_t c,
+                           std::uint64_t n, Done done) {
+        if (n == 0) {
+          eng.at(eng.now(), std::move(done));
+          return;
+        }
+        const std::uint64_t k = std::min(
+            n, std::max<std::uint64_t>(1, n / actions.batch_divisor));
+        model->refund_n(c, k,
+                        [&, model, c, n, k, done = std::move(done)]() mutable {
+                          refund_chunked(model, c, n - k, std::move(done));
+                        });
+      };
+
+  // Refund a grant's parts to the level each came from: child first, then
+  // parent pool, then the borrow headroom — the real release's ordering.
+  const auto refund_grant = [&](std::size_t c, std::size_t idx, Done after) {
+    const GrantRec g = grants[idx];  // parts are fixed at admit time
+    const auto parent_part = [&, c, t = g.tenant, fp = g.from_parent,
+                              after = std::move(after)] {
+      if (fp == 0) {
+        touch();
+        after();
+        return;
+      }
+      refund_chunked(&parent, c, fp, [&, t, fp, after] {
+        borrowed[t] -= fp;
+        touch();
+        after();
+      });
+    };
+    if (g.from_child > 0) {
+      refund_chunked(children[g.tenant].get(), c, g.from_child, parent_part);
+    } else {
+      parent_part();
+    }
+  };
+
+  std::function<void(std::size_t)> step;
+
+  // Settlement through the shared rule, with the tier's degrade action
+  // deciding allow_partial at the instant the takes complete — the same
+  // point QuotaHierarchy::acquire reads OverloadManager::actions().
+  const auto settle = [&](std::size_t c, std::size_t t,
+                          std::uint64_t got_child, std::uint64_t got_parent,
+                          std::uint64_t reserved) {
+    touch();
+    ++res.attempts;
+    ++cores[c].ops_done;
+    const svc::QuotaSettlement s = svc::quota_settle(
+        cfg.acquire_cost, got_child, got_parent,
+        /*allow_partial=*/actions.degrade_to_partial);
+    const auto next = [&, c](double at) {
+      eng.at(at, [&, c] { step(c); });
+    };
+    if (s.admitted) {
+      ++res.admitted;
+      if (got_child + got_parent < cfg.acquire_cost) ++res.degraded_admits;
+      // A degraded admit may hold a reservation larger than the parent
+      // tokens it claimed; give the unused headroom back (quota_acquire's
+      // partial-path unreserve) so outstanding borrow == from_parent.
+      if (reserved > got_parent) borrowed[t] -= reserved - got_parent;
+      const std::size_t idx = grants.size();
+      grants.push_back({t, got_child, got_parent, false});
+      held[t].push_back(idx);
+      eng.at(eng.now() + cfg.hold_time, [&, c, idx, next] {
+        GrantRec& g = grants[idx];
+        if (g.released) {  // force-refunded by a shed sweep meanwhile
+          touch();
+          next(eng.now() + cfg.think_time);
+          return;
+        }
+        g.released = true;
+        refund_grant(c, idx,
+                     [&, next] { next(eng.now() + cfg.think_time); });
+      });
+      return;
+    }
+    ++res.rejected;
+    const auto refund_child = [&, c, t, got_child, next] {
+      if (got_child == 0) {
+        next(eng.now() + cfg.think_time);
+        return;
+      }
+      refund_chunked(children[t].get(), c, got_child, [&, next] {
+        touch();
+        next(eng.now() + cfg.think_time);
+      });
+    };
+    // Pool before headroom, as in simulate_quota.
+    if (s.refund_parent > 0) {
+      refund_chunked(&parent, c, s.refund_parent,
+                     [&, t, reserved, refund_child] {
+                       if (reserved > 0) borrowed[t] -= reserved;
+                       touch();
+                       refund_child();
+                     });
+    } else {
+      if (reserved > 0) borrowed[t] -= reserved;
+      refund_child();
+    }
+  };
+
+  step = [&](std::size_t c) {
+    if (cores[c].ops_done == cfg.ops_per_core) {
+      --active_cores;
+      return;
+    }
+    const std::size_t t = tenant_of[c];
+    if (shed_flag[t] != 0) {
+      // The shed fast path: rejected before any pool is touched, so there
+      // is nothing to refund (QuotaHierarchy::acquire's shed check).
+      ++res.attempts;
+      ++res.shed_rejects;
+      ++res.shed_rejects_per_tenant[t];
+      ++cores[c].ops_done;
+      touch();
+      eng.at(eng.now() + cfg.think_time, [&, c] { step(c); });
+      return;
+    }
+    children[t]->try_decrement_n(
+        c, cfg.acquire_cost, [&, c, t](std::uint64_t got_child) {
+          if (got_child == cfg.acquire_cost) {
+            settle(c, t, got_child, 0, 0);
+            return;
+          }
+          const std::uint64_t shortfall = cfg.acquire_cost - got_child;
+          const std::uint64_t reserved =
+              svc::borrow_allowance(shortfall, borrowed[t], limits[t]);
+          if (reserved < shortfall) {
+            // Commit-only-if-full, like reserve_borrow; the degraded path
+            // still settles partially off the child part alone.
+            settle(c, t, got_child, 0, 0);
+            return;
+          }
+          borrowed[t] += reserved;
+          parent.try_decrement_n(
+              c, shortfall,
+              [&, c, t, got_child, reserved](std::uint64_t got_parent) {
+                settle(c, t, got_child, got_parent, reserved);
+              });
+        });
+  };
+
+  // A tier change takes effect here: the action table swaps, a forced
+  // adaptive swap fires, and entering/leaving the shed tier runs the
+  // shed_set sweep / the restore — the OverloadManager::apply_transition
+  // sequence in virtual time.
+  const auto apply_transition = [&](svc::OverloadTier to, double pressure) {
+    res.transitions.push_back({eng.now(), tier, to, pressure});
+    const bool was_shedding = actions.shed_tenants;
+    tier = to;
+    actions = svc::overload_actions(tier);
+    if (tier > res.peak_tier) res.peak_tier = tier;
+    if (actions.force_eliminate && parent_stack.adaptive != nullptr &&
+        !parent_stack.adaptive->switched()) {
+      parent_stack.adaptive->force_switch_now();
+      res.forced_switch = true;
+      res.forced_switch_time = eng.now();
+    }
+    if (actions.shed_tenants && !was_shedding) {
+      ++res.shed_events;
+      for (const std::size_t t : svc::shed_set(weights, cfg.shed_fraction)) {
+        shed_flag[t] = 1;
+        currently_shed.push_back(t);
+        for (const std::size_t idx : held[t]) {
+          GrantRec& g = grants[idx];
+          if (g.released) continue;
+          g.released = true;
+          res.shed_refunded_tokens += g.from_child + g.from_parent;
+          refund_grant(/*core=*/t, idx, [&] { touch(); });
+        }
+        held[t].clear();
+      }
+    } else if (!actions.shed_tenants && was_shedding) {
+      ++res.restore_events;
+      for (const std::size_t t : currently_shed) shed_flag[t] = 0;
+      currently_shed.clear();
+    }
+  };
+
+  // The manager's periodic evaluate(): window deltas over the driver's
+  // counters feed the same three signals the real monitors produce — the
+  // parent stall rate, the organic reject ratio (shed turn-aways are the
+  // manager's own doing and never reach a bucket), and aggregate borrow
+  // occupancy — through the same pure combining and tier rules. The
+  // sampler keeps itself alive while cores run, then for at most
+  // drain_samples more while the tier decays back to nominal.
+  std::uint64_t last_ops = 0;
+  std::uint64_t last_stalls = 0;
+  std::uint64_t last_rejects = 0;
+  std::size_t drain_budget = cfg.drain_samples;
+  std::function<void()> sample = [&] {
+    const std::uint64_t ops_now = res.attempts;
+    const std::uint64_t stalls_now = parent.stalls();
+    const std::uint64_t rejects_now = res.rejected;
+    const svc::LoadWindow stall_win{ops_now - last_ops,
+                                    stalls_now - last_stalls};
+    const svc::LoadWindow reject_win{ops_now - last_ops,
+                                     rejects_now - last_rejects};
+    last_ops = ops_now;
+    last_stalls = stalls_now;
+    last_rejects = rejects_now;
+    std::uint64_t borrowed_total = 0;
+    for (std::size_t t = 0; t < cfg.tenants; ++t) borrowed_total += borrowed[t];
+    const double pressure = svc::combine_pressure(
+        {svc::window_pressure(stall_win, cfg.stall_saturation),
+         svc::window_pressure(reject_win, 1.0),
+         svc::occupancy_pressure(borrowed_total, total_limit)});
+    const svc::OverloadTier to =
+        svc::overload_tier(pressure, tier, cfg.thresholds);
+    if (to != tier) apply_transition(to, pressure);
+    if (active_cores > 0) {
+      eng.at(eng.now() + cfg.sample_every, sample);
+    } else if (tier != svc::OverloadTier::kNominal && drain_budget > 0) {
+      --drain_budget;
+      eng.at(eng.now() + cfg.sample_every, sample);
+    }
+  };
+
+  for (std::size_t c = 0; c < cfg.cores; ++c) {
+    eng.at(static_cast<double>(c) * cfg.core_start_stagger,
+           [&, c] { step(c); });
+  }
+  eng.at(cfg.sample_every, sample);
+  eng.run();
+
+  res.makespan = makespan;
+  res.final_tier = tier;
+
+  bool quiescent_exact =
+      !parent.pool_ever_negative() &&
+      parent.pool() == static_cast<std::int64_t>(cfg.parent_initial);
+  for (std::size_t t = 0; t < cfg.tenants; ++t) {
+    quiescent_exact = quiescent_exact && !children[t]->pool_ever_negative() &&
+                      children[t]->pool() ==
+                          static_cast<std::int64_t>(cfg.child_initial) &&
+                      borrowed[t] == 0;
+  }
+  res.conserved = quiescent_exact;
+
+  bool hysteresis_ok = true;
+  for (const OverloadSimTransition& tr : res.transitions) {
+    const auto from_i = static_cast<std::size_t>(tr.from);
+    const auto to_i = static_cast<std::size_t>(tr.to);
+    if (to_i > from_i) {
+      hysteresis_ok =
+          hysteresis_ok && tr.pressure >= cfg.thresholds.enter[to_i] - 1e-12;
+    } else {
+      hysteresis_ok = hysteresis_ok &&
+                      tr.pressure <= cfg.thresholds.enter[from_i] -
+                                         cfg.thresholds.hysteresis + 1e-12;
+    }
+  }
+  res.hysteresis_respected = hysteresis_ok;
+  res.recovered =
+      res.final_tier == svc::OverloadTier::kNominal && currently_shed.empty();
 
   for (const CoreState& core : cores) {
     CNET_ENSURE(core.ops_done == cfg.ops_per_core,

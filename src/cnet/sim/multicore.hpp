@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "cnet/svc/backend.hpp"
+#include "cnet/svc/policy.hpp"
 
 namespace cnet::sim {
 
@@ -195,6 +196,122 @@ QuotaSimResult simulate_quota(const svc::BackendSpec& parent_spec,
 // can never drift onto different configs (the same pattern as
 // multicore_sweep_specs).
 QuotaSimConfig quota_sim_reference_config(std::size_t cores);
+
+// --------------------------------------------------------------- overload
+
+// The svc::OverloadManager control loop in virtual time (Table E′'s model
+// counterpart): the quota workload above, but cores enter staggered — core
+// c starts at c * core_start_stagger — so offered load ramps up past
+// saturation and back down as cores finish. A periodic sampler event plays
+// the manager: it reads the same three signals the real monitors read
+// (parent-pool stall rate over a window, reject ratio over a window, peak
+// borrow occupancy), runs them through the *same* pure rules
+// (svc::window_pressure / occupancy_pressure / combine_pressure /
+// overload_tier / overload_actions / shed_set from svc/policy.hpp), and
+// actuates the resulting tier inside the model:
+//   - kShrinkBatch      -> release/shed refunds go back in chunks of
+//                          max(1, tokens / batch_divisor) instead of one
+//                          bulk traversal;
+//   - kForceEliminate   -> an adaptive parent takes its cold→hot swap at
+//                          the next sample instant (exact pool migration);
+//   - kDegradePartial   -> settles run with allow_partial: a grant may
+//                          admit with fewer tokens than asked, parts
+//                          recorded exactly for release;
+//   - kShedTenants      -> svc::shed_set picks the lowest-weight tenants;
+//                          their outstanding grants are force-refunded to
+//                          the level each part came from, and their later
+//                          attempts reject without touching any pool.
+// Everything is deterministic given the seed; the tier-transition instants
+// are part of the result so tests can pin them golden.
+struct OverloadSimConfig {
+  // Engine/model knobs (service times, slopes, network shape, adaptive
+  // tuning, exponential draws, seed); base.cores / ops_per_core /
+  // refill_every / initial_tokens_per_core are ignored here.
+  MulticoreConfig base;
+
+  std::size_t cores = 48;
+  std::size_t tenants = 8;
+  std::size_t hot_tenants = 1;
+  double hot_core_share = 0.75;
+  std::size_t ops_per_core = 192;   // acquire attempts per core
+  double core_start_stagger = 24.0; // core c enters at c * stagger
+
+  // Unlike QuotaSimConfig, the borrow budget deliberately *oversubscribes*
+  // the parent (sum of limits > parent_initial): overload is exactly the
+  // regime where admission promises exceed the shared pool, which is what
+  // lets the parent run dry and the degrade-partial tier produce genuinely
+  // short grants. The odd initial counts against the even acquire_cost
+  // leave a 1-token residue when a pool drains, so bounded claims really
+  // do come up short instead of alternating full/empty forever.
+  std::uint64_t acquire_cost = 2;
+  std::uint64_t child_initial = 3;
+  std::uint64_t parent_initial = 47;
+  std::uint64_t borrow_budget = 64;
+  std::uint64_t hot_weight = 8;
+  std::uint64_t cold_weight = 1;
+
+  double hold_time = 6.0;
+  double think_time = 0.2;
+
+  // Manager loop: sample cadence in virtual time, the stall-rate reading
+  // that maps to pressure 1.0, and how many post-drain samples the sampler
+  // may take while decaying back to nominal before it stops.
+  double sample_every = 32.0;
+  double stall_saturation = 2.0;
+  std::size_t drain_samples = 16;
+
+  svc::OverloadThresholds thresholds;
+  double shed_fraction = 0.25;
+};
+
+// One tier change, with the evaluation instant and the combined pressure
+// that drove it — the golden-pinnable trace of the control loop.
+struct OverloadSimTransition {
+  double time = 0.0;
+  svc::OverloadTier from = svc::OverloadTier::kNominal;
+  svc::OverloadTier to = svc::OverloadTier::kNominal;
+  double pressure = 0.0;
+};
+
+struct OverloadSimResult {
+  double makespan = 0.0;
+  std::uint64_t attempts = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;        // organic rejects (pool/cap), not shed
+  std::uint64_t degraded_admits = 0; // admitted with fewer tokens than asked
+  std::uint64_t shed_rejects = 0;    // attempts turned away while shed
+  std::uint64_t shed_events = 0;     // times the manager entered shedding
+  std::uint64_t restore_events = 0;  // times it left shedding
+  std::uint64_t shed_refunded_tokens = 0;  // grant parts force-refunded
+  svc::OverloadTier peak_tier = svc::OverloadTier::kNominal;
+  svc::OverloadTier final_tier = svc::OverloadTier::kNominal;
+  bool forced_switch = false;   // adaptive parent swapped via force path
+  double forced_switch_time = -1.0;
+  std::vector<OverloadSimTransition> transitions;
+  std::vector<std::uint64_t> shed_rejects_per_tenant;
+
+  // Quiescent ledger: parent and every child pool back at their initial
+  // counts, zero outstanding borrow, no pool ever negative — every grant
+  // part was returned exactly once, by release or by the shed refund.
+  bool conserved = false;
+  // Every downward transition happened at pressure <= enter[from] -
+  // hysteresis, every upward one at pressure >= enter[to]: the shared tier
+  // rule's hysteresis held over the whole trace.
+  bool hysteresis_respected = false;
+  // Tier recovered to nominal and every shed tenant was restored.
+  bool recovered = false;
+};
+
+// Deterministic from (parent_spec, cfg, cfg.base.seed), like
+// simulate_quota.
+OverloadSimResult simulate_overload(const svc::BackendSpec& parent_spec,
+                                    const OverloadSimConfig& cfg);
+
+// The Table E′ reference workload (48 staggered cores, 8 tenants, 1 hot,
+// fixed seed) — shared by bench_tab_overload and the sim tests so the
+// CI-gated checks and the golden-seed tier-transition tests can never
+// drift onto different configs.
+OverloadSimConfig overload_sim_reference_config();
 
 // The Table B' sweep axis, shared by bench_tab_svc_sim and the sim tests
 // so they can never drift apart: every pool-capable kind plain, plus the

@@ -121,6 +121,14 @@ std::string AdaptiveCounter::name() const {
 void AdaptiveCounter::after_ops(std::size_t thread_hint, std::uint64_t n) {
   if (switched_.load(std::memory_order_relaxed)) return;  // one-way switch
   if (!stats_.record_ops(thread_hint, n)) return;
+  // Overload override, checked only at sample boundaries: the manager's
+  // force-eliminate tier takes the swap now rather than waiting for the
+  // stall-rate window to fill.
+  if (const OverloadManager* mgr = overload_.load(std::memory_order_acquire);
+      mgr != nullptr && mgr->actions().force_eliminate) {
+    do_switch(thread_hint);
+    return;
+  }
   // The stall total is read *inside* sample(), after the sampler claim is
   // won — a total captured out here could predate a concurrent sampler's
   // window and underflow into a spurious switch. Refund-attributed stalls

@@ -31,11 +31,12 @@
 #include "cnet/runtime/counter.hpp"
 #include "cnet/svc/backend.hpp"
 #include "cnet/svc/load_stats.hpp"
+#include "cnet/svc/overload.hpp"
 #include "cnet/util/cacheline.hpp"
 
 namespace cnet::svc {
 
-class AdaptiveCounter final : public rt::Counter {
+class AdaptiveCounter final : public rt::Counter, public OverloadAware {
  public:
   struct Config {
     BackendKind cold = BackendKind::kCentralAtomic;
@@ -82,6 +83,15 @@ class AdaptiveCounter final : public rt::Counter {
   // operator-escape hatch.
   void force_switch(std::size_t thread_hint);
 
+  // Overload hook: once attached, a tier carrying force_eliminate makes
+  // the next sample boundary take the cold→hot swap immediately instead of
+  // waiting for the stall-rate rule. Checked only at sample boundaries so
+  // the hot path stays one relaxed fetch_add; token conservation across
+  // the forced swap is the same exact migration as the organic one.
+  void attach_overload(const OverloadManager* manager) noexcept override {
+    overload_.store(manager, std::memory_order_release);
+  }
+
   const LoadStats& stats() const noexcept { return stats_; }
 
  private:
@@ -112,6 +122,7 @@ class AdaptiveCounter final : public rt::Counter {
   // over-exclusion into a smaller window, never an underflowed one.
   std::atomic<std::uint64_t> refund_stalls_{0};
   LoadStats stats_;
+  std::atomic<const OverloadManager*> overload_{nullptr};
 };
 
 }  // namespace cnet::svc

@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "cnet/svc/overload.hpp"
 #include "cnet/util/ensure.hpp"
 
 namespace cnet::svc {
@@ -42,10 +43,19 @@ AdmissionController::Ticket AdmissionController::admit(
   CNET_REQUIRE(thread_hint < ids_.max_threads(),
                "thread_hint must be < max_threads");
   Ticket ticket;
-  if (bucket_.consume(thread_hint, cost, /*allow_partial=*/false) != cost) {
-    return ticket;  // rejected, no ID burned
+  // The degrade decision is made here, not inside the bucket: only the
+  // admission layer can hand the caller the exact partial charge, and a
+  // silently partial bucket would leak tokens through every all-or-nothing
+  // caller that compares the result against `cost`.
+  const bool degrade =
+      overload_ != nullptr && overload_->actions().degrade_to_partial;
+  const std::uint64_t charged =
+      bucket_.consume(thread_hint, cost, /*allow_partial=*/degrade);
+  if (degrade ? charged == 0 : charged != cost) {
+    return ticket;  // rejected, nothing charged, no ID burned
   }
   ticket.admitted = true;
+  ticket.charged = charged;
   ticket.request_id = ids_.allocate(thread_hint);
   return ticket;
 }

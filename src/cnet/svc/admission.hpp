@@ -30,25 +30,50 @@ struct AdmissionConfig {
   bool elimination = false;
 };
 
+class OverloadManager;
+
 class AdmissionController {
  public:
   struct Ticket {
     bool admitted = false;
     std::int64_t request_id = -1;  // valid iff admitted
+    // Tokens actually charged: == cost on a normal admission, possibly
+    // less under the overload manager's degrade-partial action, always 0
+    // on rejection. Conservation contract: whatever a caller undoes, it
+    // must refund exactly `charged` (never `cost`) through the bucket.
+    std::uint64_t charged = 0;
   };
 
   explicit AdmissionController(const AdmissionConfig& cfg);
 
-  // Charges `cost` tokens all-or-nothing; on admission tags the request
-  // with a unique ID from the sharded allocator.
+  // Charges `cost` tokens and on admission tags the request with a unique
+  // ID from the sharded allocator. The charge is all-or-nothing — never
+  // over-admitting is the bucket backend's bound-at-zero guarantee —
+  // unless an attached overload manager's tier carries degrade_to_partial,
+  // in which case a short pool still admits with Ticket::charged set to
+  // the partial grab (at least 1). Either way no tokens are ever created:
+  // charged tokens came out of the pool exactly once and a rejected call
+  // leaves the pool untouched.
   Ticket admit(std::size_t thread_hint, std::uint64_t cost = 1);
 
+  // Capacity addition via the pool's batched increment path (this *is*
+  // load, unlike refunds of previously charged tokens).
   void refill(std::size_t thread_hint, std::uint64_t tokens) {
     bucket_.refill(thread_hint, tokens);
   }
 
+  // Puts the admission path under an overload manager: the bucket (and its
+  // pool's aware layers) get the shrink/force actions, and admit() starts
+  // honoring degrade_to_partial as described above. The manager must
+  // outlive this controller; nullptr detaches.
+  void attach_overload(const OverloadManager* manager) noexcept {
+    overload_ = manager;
+    bucket_.attach_overload(manager);
+  }
+
   NetTokenBucket& bucket() noexcept { return bucket_; }
   ShardedIdAllocator& ids() noexcept { return ids_; }
+  // Total backend contention events across the bucket pool and ID shards.
   std::uint64_t stall_count() const {
     return bucket_.stall_count() + ids_.stall_count();
   }
@@ -57,6 +82,7 @@ class AdmissionController {
  private:
   NetTokenBucket bucket_;
   ShardedIdAllocator ids_;
+  const OverloadManager* overload_ = nullptr;
 };
 
 }  // namespace cnet::svc

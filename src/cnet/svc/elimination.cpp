@@ -107,10 +107,16 @@ ElimCounter::ElimCounter(std::unique_ptr<rt::Counter> inner,
                          const Config& cfg)
     : ForwardingCounter(std::move(inner)), cfg_(cfg), layer_(cfg.layer) {}
 
+std::size_t ElimCounter::spin_budget(std::size_t base) const noexcept {
+  const OverloadManager* mgr = overload_.load(std::memory_order_acquire);
+  if (mgr == nullptr || !mgr->actions().force_eliminate) return base;
+  return base * cfg_.overload_spin_boost;
+}
+
 std::int64_t ElimCounter::fetch_increment(std::size_t thread_hint) {
   std::int64_t v = 0;
   if (layer_.try_exchange(EliminationLayer::Role::kInc, thread_hint,
-                          cfg_.inc_spins, &v)) {
+                          spin_budget(cfg_.inc_spins), &v)) {
     return v;
   }
   return inner().fetch_increment(thread_hint);
@@ -138,7 +144,7 @@ bool ElimCounter::try_fetch_decrement(std::size_t thread_hint,
                                       std::int64_t* reclaimed) {
   std::int64_t v = 0;
   if (layer_.try_exchange(EliminationLayer::Role::kDec, thread_hint,
-                          cfg_.dec_spins, &v)) {
+                          spin_budget(cfg_.dec_spins), &v)) {
     if (reclaimed != nullptr) *reclaimed = v;
     return true;
   }

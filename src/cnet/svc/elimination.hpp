@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cnet/runtime/counter.hpp"
+#include "cnet/svc/overload.hpp"
 #include "cnet/svc/policy.hpp"
 #include "cnet/util/cacheline.hpp"
 #include "cnet/util/stall_slots.hpp"
@@ -107,7 +108,7 @@ class EliminationLayer {
 // Do not use values from an ElimCounter as identities (IDs): a value
 // returned by an eliminated increment is immediately reclaimed by its
 // paired decrement rather than drawn from the backend's sequence.
-class ElimCounter final : public rt::ForwardingCounter {
+class ElimCounter final : public rt::ForwardingCounter, public OverloadAware {
  public:
   struct Config {
     EliminationLayer::Config layer;
@@ -117,6 +118,11 @@ class ElimCounter final : public rt::ForwardingCounter {
     // with batch refills.
     std::size_t inc_spins = 512;
     std::size_t dec_spins = 64;
+    // Multiplier applied to both single-op spin budgets while an attached
+    // overload manager's tier carries force_eliminate: waiting longer for
+    // a partner trades per-op latency for fewer backend traversals, the
+    // right trade exactly when the backend is the saturated resource.
+    std::size_t overload_spin_boost = 8;
   };
 
   ElimCounter(std::unique_ptr<rt::Counter> inner, const Config& cfg);
@@ -133,12 +139,23 @@ class ElimCounter final : public rt::ForwardingCounter {
 
   std::string name() const override { return "elim·" + inner().name(); }
 
+  // Overload hook: force_eliminate widens the single-op pairing window by
+  // Config::overload_spin_boost. Pure routing — pairs still conserve
+  // counts exactly, and misses still fall through to the inner backend.
+  void attach_overload(const OverloadManager* manager) noexcept override {
+    overload_.store(manager, std::memory_order_release);
+  }
+
   EliminationLayer& layer() noexcept { return layer_; }
   const EliminationLayer& layer() const noexcept { return layer_; }
 
  private:
+  // The spin budget for one single-op attempt under the current tier.
+  std::size_t spin_budget(std::size_t base) const noexcept;
+
   Config cfg_;
   EliminationLayer layer_;
+  std::atomic<const OverloadManager*> overload_{nullptr};
 };
 
 }  // namespace cnet::svc

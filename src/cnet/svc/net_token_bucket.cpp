@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cnet/svc/overload.hpp"
 #include "cnet/svc/policy.hpp"
 #include "cnet/util/ensure.hpp"
 
@@ -26,12 +27,15 @@ std::uint64_t NetTokenBucket::consume(std::size_t thread_hint,
                                       std::uint64_t tokens,
                                       bool allow_partial) {
   if (tokens == 0) return 0;  // defined no-op: success, pool untouched
+  attempts_.add(thread_hint, 1);
   if (tokens == 1) {
     // The common admit(1) case takes the single-op path: same conclusive
     // miss-means-empty contract, no bulk machinery — and on an ElimCounter
     // pool it is the path that deposits in the exchange slots, so lone
     // consumes can pair with a racing batch refill.
-    return pool_->try_fetch_decrement(thread_hint) ? 1 : 0;
+    if (pool_->try_fetch_decrement(thread_hint)) return 1;
+    rejects_.add(thread_hint, 1);
+    return 0;
   }
   // The grab/refund plan is the shared svc::bucket_consume policy (the
   // virtual-time simulator runs the identical plan against its pool
@@ -41,23 +45,46 @@ std::uint64_t NetTokenBucket::consume(std::size_t thread_hint,
   // all-or-nothing shortfall goes back through refund_n, not refill():
   // count-wise the same increments, but marked so an adaptive pool's load
   // probe never mistakes a pure-reject storm for organic traffic.
-  return bucket_consume(
+  const std::uint64_t got = bucket_consume(
       tokens, allow_partial,
       [&](std::uint64_t want) {
         return pool_->try_fetch_decrement_n(thread_hint, want);
       },
       [&](std::uint64_t refund) { pool_->refund_n(thread_hint, refund); });
+  if (got == 0) rejects_.add(thread_hint, 1);
+  return got;
 }
 
 void NetTokenBucket::refill(std::size_t thread_hint, std::uint64_t tokens) {
   // The claimed values are discarded: a pool token has no identity, only
-  // the net count matters.
+  // the net count matters. Under overload the shrink-batch action divides
+  // the chunk size (floor 1): the same token count lands in the pool, in
+  // smaller exclusive batch holds.
+  std::size_t chunk = cfg_.refill_chunk;
+  if (overload_ != nullptr) {
+    chunk = std::max<std::size_t>(1, chunk / overload_->actions().batch_divisor);
+  }
   std::int64_t scratch[kRefillChunkCap];
   while (tokens > 0) {
-    const auto k = static_cast<std::size_t>(
-        std::min<std::uint64_t>(tokens, cfg_.refill_chunk));
+    const auto k =
+        static_cast<std::size_t>(std::min<std::uint64_t>(tokens, chunk));
     pool_->fetch_increment_batch(thread_hint, k, scratch);
     tokens -= k;
+  }
+}
+
+void NetTokenBucket::attach_overload(const OverloadManager* manager) noexcept {
+  overload_ = manager;
+  // Walk the pool's decorator chain and attach every overload-aware layer
+  // (ElimCounter widens its pairing window, AdaptiveCounter accepts the
+  // forced swap). ForwardingCounter is the only chain link in the library.
+  rt::Counter* layer = pool_.get();
+  while (layer != nullptr) {
+    if (auto* aware = dynamic_cast<OverloadAware*>(layer)) {
+      aware->attach_overload(manager);
+    }
+    auto* fwd = dynamic_cast<rt::ForwardingCounter*>(layer);
+    layer = fwd != nullptr ? &fwd->inner() : nullptr;
   }
 }
 

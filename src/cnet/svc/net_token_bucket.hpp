@@ -19,8 +19,11 @@
 #include <string>
 
 #include "cnet/runtime/counter.hpp"
+#include "cnet/util/stall_slots.hpp"
 
 namespace cnet::svc {
+
+class OverloadManager;
 
 class NetTokenBucket {
  public:
@@ -63,7 +66,26 @@ class NetTokenBucket {
     pool_->refund_n(thread_hint, tokens);
   }
 
+  // Puts the bucket under an overload manager: refills shrink their chunk
+  // size by the tier's batch divisor (count-conserving — the same tokens in
+  // smaller exclusive holds), and every OverloadAware layer in the pool's
+  // decorator chain (elimination front-end, adaptive backend) is attached
+  // too. The manager never changes *whether* tokens are admitted here —
+  // consume() stays exact; degrading to partial grants is the caller's
+  // (AdmissionController's / QuotaHierarchy's) decision, because only the
+  // caller can record the partial charge for a later exact refund. The
+  // manager must outlive the bucket; nullptr detaches.
+  void attach_overload(const OverloadManager* manager) noexcept;
+  const OverloadManager* overload() const noexcept { return overload_; }
+
+  // Contention events observed by the pool backend (CAS retries / lock
+  // waits); the numerator of the stall-rate overload monitor.
   std::uint64_t stall_count() const { return pool_->stall_count(); }
+  // consume() calls with tokens > 0 / those that returned 0 ("observably
+  // empty pool"). Their windowed ratio is the reject-ratio overload signal:
+  // rejections per attempt, saturation at 1.0.
+  std::uint64_t consume_attempts() const noexcept { return attempts_.total(); }
+  std::uint64_t consume_rejects() const noexcept { return rejects_.total(); }
   std::string name() const { return "bucket·" + pool_->name(); }
   rt::Counter& pool() noexcept { return *pool_; }
   const rt::Counter& pool() const noexcept { return *pool_; }
@@ -71,6 +93,9 @@ class NetTokenBucket {
  private:
   std::unique_ptr<rt::Counter> pool_;
   Config cfg_;
+  const OverloadManager* overload_ = nullptr;
+  util::StallSlots attempts_;
+  util::StallSlots rejects_;
 };
 
 }  // namespace cnet::svc

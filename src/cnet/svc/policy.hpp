@@ -6,8 +6,11 @@
 // reimplementation. Everything here is pure: no atomics, no time, no I/O.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <utility>
+#include <vector>
 
 namespace cnet::svc {
 
@@ -113,10 +116,14 @@ constexpr std::uint64_t borrow_allowance(std::uint64_t want,
   return want < limit - outstanding ? want : limit - outstanding;
 }
 
-// The all-or-nothing settlement of a two-level grab: given what the child
-// and parent takes actually yielded, either the request is fully covered
-// (admitted, keep both parts) or every token goes back to the level it was
-// taken from. tokens == 0 settles as admitted with empty parts — the same
+// The settlement of a two-level grab: given what the child and parent takes
+// actually yielded, either the request is covered (admitted, keep both
+// parts) or every token goes back to the level it was taken from. By
+// default the settlement is all-or-nothing; with allow_partial (the
+// overload manager's kDegradePartial action) any nonzero yield settles as
+// admitted — the caller keeps exactly from_child + from_parent tokens and
+// must release exactly those parts later, so conservation stays level-exact
+// either way. tokens == 0 settles as admitted with empty parts — the same
 // defined no-op as bucket_consume's.
 struct QuotaSettlement {
   bool admitted = false;
@@ -126,8 +133,10 @@ struct QuotaSettlement {
 
 constexpr QuotaSettlement quota_settle(std::uint64_t tokens,
                                        std::uint64_t from_child,
-                                       std::uint64_t from_parent) noexcept {
+                                       std::uint64_t from_parent,
+                                       bool allow_partial = false) noexcept {
   if (from_child + from_parent == tokens) return {true, 0, 0};
+  if (allow_partial && from_child + from_parent > 0) return {true, 0, 0};
   return {false, from_child, from_parent};
 }
 
@@ -147,12 +156,20 @@ struct QuotaGrantPlan {
 // need exactly n); unreserve(n) gives headroom back when the grant fails.
 // On success the reservation is kept — it *is* the tenant's outstanding
 // borrow until release().
+//
+// With allow_partial (the overload manager's kDegradePartial action) a
+// short yield still admits: the plan keeps whatever the child plus parent
+// actually produced, and any reserved headroom beyond the parent tokens
+// actually claimed is unreserved before returning — so the outstanding
+// borrow equals from_parent exactly, and releasing (from_child,
+// from_parent) restores both pools and the headroom to the token.
 template <class TakeChild, class Reserve, class Unreserve, class TakeParent,
           class PutChild, class PutParent>
 QuotaGrantPlan quota_acquire(std::uint64_t tokens, TakeChild&& take_child,
                              Reserve&& reserve, Unreserve&& unreserve,
                              TakeParent&& take_parent, PutChild&& put_child,
-                             PutParent&& put_parent) {
+                             PutParent&& put_parent,
+                             bool allow_partial = false) {
   QuotaGrantPlan plan;
   if (tokens == 0) {  // the defined no-op, as in bucket_consume
     plan.admitted = true;
@@ -164,10 +181,22 @@ QuotaGrantPlan quota_acquire(std::uint64_t tokens, TakeChild&& take_child,
   if (from_child < tokens) {
     const std::uint64_t shortfall = tokens - from_child;
     reserved = reserve(shortfall);
-    if (reserved == shortfall) from_parent = take_parent(shortfall);
+    if (reserved == shortfall) {
+      from_parent = take_parent(shortfall);
+    } else if (allow_partial && reserved > 0) {
+      // Degraded mode accepts a partial reservation and borrows only what
+      // was secured; the all-or-nothing path must not (a short borrow
+      // would turn into a short grant and a spurious rejection).
+      from_parent = take_parent(reserved);
+    }
   }
-  const QuotaSettlement settle = quota_settle(tokens, from_child, from_parent);
+  const QuotaSettlement settle =
+      quota_settle(tokens, from_child, from_parent, allow_partial);
   if (settle.admitted) {
+    // A degraded (partial) admit may hold a reservation larger than the
+    // parent tokens it actually claimed; give the unused headroom back so
+    // outstanding borrow == from_parent, the amount release() will return.
+    if (reserved > from_parent) unreserve(reserved - from_parent);
     plan.admitted = true;
     plan.from_child = from_child;
     plan.from_parent = from_parent;
@@ -181,6 +210,177 @@ QuotaGrantPlan quota_acquire(std::uint64_t tokens, TakeChild&& take_child,
   if (settle.refund_child > 0) put_child(settle.refund_child);
   if (reserved > 0) unreserve(reserved);
   return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Overload-manager decision rules (svc::OverloadManager and the simulator's
+// sim::simulate_overload drive the exact same ladder; see svc/overload.hpp).
+// Signals arrive as normalized 0–1 "pressure" readings, are combined by
+// combine_pressure, and map to a tier through overload_tier; each tier's
+// interventions come from the monotone action table overload_actions.
+
+// The escalation ladder. Tiers are ordered by severity and the action table
+// below is monotone — every tier keeps the interventions of the tiers under
+// it — so operators can reason in "at least" terms: a system at
+// kDegradePartial already has shrunken batches and forced elimination.
+enum class OverloadTier : std::uint8_t {
+  kNominal = 0,         // no intervention
+  kShrinkBatch = 1,     // shrink batch/refill chunks (bound exclusive holds)
+  kForceEliminate = 2,  // force elimination pairing and the adaptive swap
+  kDegradePartial = 3,  // all-or-nothing consumes degrade to partial grants
+  kShedTenants = 4,     // shed whole tenants by weight, refund held grants
+};
+
+inline constexpr std::size_t kNumOverloadTiers = 5;
+
+constexpr const char* overload_tier_name(OverloadTier tier) noexcept {
+  switch (tier) {
+    case OverloadTier::kNominal:
+      return "nominal";
+    case OverloadTier::kShrinkBatch:
+      return "shrink-batch";
+    case OverloadTier::kForceEliminate:
+      return "force-eliminate";
+    case OverloadTier::kDegradePartial:
+      return "degrade-partial";
+    case OverloadTier::kShedTenants:
+      return "shed-tenants";
+  }
+  return "?";
+}
+
+// Escalation thresholds with recovery hysteresis. enter[i] is the combined
+// pressure at or above which tier i engages; enter[0] is unused (nominal
+// needs no entry). A tier, once entered, is only left when pressure drops
+// to or below its *exit* threshold enter[i] - hysteresis — the gap is what
+// keeps a signal oscillating around a boundary from flapping actions on
+// and off every sample.
+struct OverloadThresholds {
+  double enter[kNumOverloadTiers] = {0.0, 0.50, 0.70, 0.85, 0.95};
+  double hysteresis = 0.10;
+};
+
+// The tier rule. Escalation is immediate: the result is at least the
+// highest tier whose enter threshold the pressure meets. De-escalation is
+// hysteretic: from `current`, the tier only drops to the highest tier
+// still *held* — one whose exit threshold (enter - hysteresis) the
+// pressure still exceeds — so recovery retraces the ladder without
+// re-triggering on boundary noise. Pure and total: any pressure, any
+// current tier.
+constexpr OverloadTier overload_tier(double pressure, OverloadTier current,
+                                     const OverloadThresholds& th) noexcept {
+  std::size_t up = 0;
+  for (std::size_t i = 1; i < kNumOverloadTiers; ++i) {
+    if (pressure >= th.enter[i]) up = i;
+  }
+  const auto cur = static_cast<std::size_t>(current);
+  if (up >= cur) return static_cast<OverloadTier>(up);
+  std::size_t held = 0;
+  for (std::size_t i = 1; i <= cur; ++i) {
+    if (pressure > th.enter[i] - th.hysteresis) held = i;
+  }
+  return static_cast<OverloadTier>(held > up ? held : up);
+}
+
+// What each tier actually does to the service layer. The table is monotone
+// in the tier (checked by test_svc_policy and the bench's monotone-tiers
+// gate): batch_divisor never shrinks back and the booleans never turn off
+// as the tier climbs.
+struct OverloadActions {
+  // Batched refills/traversals divide their chunk size by this (floor 1):
+  // smaller exclusive holds bound the latency a single batch can impose.
+  std::size_t batch_divisor = 1;
+  // Force the elimination front-end to pair aggressively and the adaptive
+  // backend to take its cold→hot swap immediately.
+  bool force_eliminate = false;
+  // Degrade all-or-nothing consumes/acquires to allow_partial grants.
+  bool degrade_to_partial = false;
+  // Shed whole tenants (shed_set below) with exact refund of held grants.
+  bool shed_tenants = false;
+};
+
+inline constexpr std::size_t kOverloadBatchDivisor = 4;
+
+constexpr OverloadActions overload_actions(OverloadTier tier) noexcept {
+  OverloadActions a;
+  if (tier >= OverloadTier::kShrinkBatch) a.batch_divisor = kOverloadBatchDivisor;
+  if (tier >= OverloadTier::kForceEliminate) a.force_eliminate = true;
+  if (tier >= OverloadTier::kDegradePartial) a.degrade_to_partial = true;
+  if (tier >= OverloadTier::kShedTenants) a.shed_tenants = true;
+  return a;
+}
+
+// Pressure readings live in [0, 1]; everything a monitor produces is
+// clamped through this before combining.
+constexpr double clamp_pressure(double p) noexcept {
+  return p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+}
+
+// A windowed rate signal normalized against the rate that counts as
+// saturation: stalls/op against the stall rate considered fully saturated,
+// rejects/attempt against 1.0, and so on. The empty window reads as zero
+// pressure — an idle system must decay toward nominal, not hold its last
+// tier forever.
+inline double window_pressure(const LoadWindow& window,
+                              double saturation_rate) noexcept {
+  if (window.ops == 0 || saturation_rate <= 0.0) return 0.0;
+  return clamp_pressure(window.event_rate() / saturation_rate);
+}
+
+// A level signal: current occupancy over capacity (admission queue depth,
+// per-tenant outstanding borrow against its limit). Zero capacity reads as
+// zero pressure (an unbounded resource cannot saturate).
+constexpr double occupancy_pressure(std::uint64_t value,
+                                    std::uint64_t capacity) noexcept {
+  if (capacity == 0) return 0.0;
+  return clamp_pressure(static_cast<double>(value) /
+                        static_cast<double>(capacity));
+}
+
+// Combining rule: the worst signal wins. Max (not sum or mean) because
+// pressure readings are not commensurable — a saturated borrow cap is a
+// real overload even when every other signal is idle, and averaging it
+// away would be exactly the failure mode an overload manager exists to
+// prevent.
+inline double combine_pressure(const std::vector<double>& readings) noexcept {
+  double worst = 0.0;
+  for (const double r : readings) {
+    const double p = clamp_pressure(r);
+    if (p > worst) worst = p;
+  }
+  return worst;
+}
+
+// The shed selection: lowest-weight tenants go first (weight is the same
+// importance signal the borrow limits divide by), ties broken toward the
+// higher index so tenant 0 — conventionally the most important — is shed
+// last. Tenants are added until the shed weight reaches `fraction` of the
+// total; at least one tenant is shed for any positive fraction, and the
+// rule never sheds *every* tenant (a manager that sheds 100% of its load
+// has just failed differently). Deterministic; returns ascending indices.
+inline std::vector<std::size_t> shed_set(
+    const std::vector<std::uint64_t>& weights, double fraction) {
+  if (weights.size() <= 1 || fraction <= 0.0) return {};
+  std::vector<std::size_t> order(weights.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (weights[a] != weights[b]) return weights[a] < weights[b];
+              return a > b;
+            });
+  double total = 0.0;
+  for (const std::uint64_t w : weights) total += static_cast<double>(w);
+  const double target = total * (fraction > 1.0 ? 1.0 : fraction);
+  std::vector<std::size_t> shed;
+  double shed_weight = 0.0;
+  for (const std::size_t t : order) {
+    if (shed.size() + 1 >= weights.size()) break;  // never shed everyone
+    shed.push_back(t);
+    shed_weight += static_cast<double>(weights[t]);
+    if (shed_weight >= target) break;
+  }
+  std::sort(shed.begin(), shed.end());
+  return shed;
 }
 
 }  // namespace cnet::svc

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "cnet/svc/overload.hpp"
 #include "cnet/svc/policy.hpp"
 #include "cnet/util/ensure.hpp"
 
@@ -57,6 +58,17 @@ QuotaHierarchy::Grant QuotaHierarchy::acquire(std::size_t thread_hint,
                                               std::uint64_t tokens) {
   CNET_REQUIRE(tenant < tenants_.size(), "tenant index out of range");
   TenantState& state = tenants_[tenant];
+  if (state.shed.load(std::memory_order_acquire)) {
+    // A shed tenant is rejected before any pool is touched: no tokens
+    // move, so there is nothing to refund and conservation is trivial.
+    Grant rejected;
+    rejected.tenant = static_cast<std::uint32_t>(tenant);
+    return rejected;
+  }
+  // Degrade-partial is decided here (not in the buckets) so the grant's
+  // parts record exactly what was taken — release() stays an exact undo.
+  const bool degrade =
+      overload_ != nullptr && overload_->actions().degrade_to_partial;
   // The whole flow is the shared svc::quota_acquire plan; only the
   // concrete take/refund/reserve mechanics live here.
   const QuotaGrantPlan plan = quota_acquire(
@@ -72,7 +84,8 @@ QuotaHierarchy::Grant QuotaHierarchy::acquire(std::size_t thread_hint,
         return parent_.consume(thread_hint, n, /*allow_partial=*/true);
       },
       [&](std::uint64_t n) { state.bucket->refund(thread_hint, n); },
-      [&](std::uint64_t n) { parent_.refund(thread_hint, n); });
+      [&](std::uint64_t n) { parent_.refund(thread_hint, n); },
+      /*allow_partial=*/degrade);
   Grant grant;
   grant.admitted = plan.admitted;
   grant.tenant = static_cast<std::uint32_t>(tenant);
@@ -101,6 +114,27 @@ void QuotaHierarchy::refill_tenant(std::size_t thread_hint,
                                    std::size_t tenant, std::uint64_t tokens) {
   CNET_REQUIRE(tenant < tenants_.size(), "tenant index out of range");
   tenants_[tenant].bucket->refill(thread_hint, tokens);
+}
+
+void QuotaHierarchy::shed(std::size_t tenant) {
+  CNET_REQUIRE(tenant < tenants_.size(), "tenant index out of range");
+  tenants_[tenant].shed.store(true, std::memory_order_release);
+}
+
+void QuotaHierarchy::restore(std::size_t tenant) {
+  CNET_REQUIRE(tenant < tenants_.size(), "tenant index out of range");
+  tenants_[tenant].shed.store(false, std::memory_order_release);
+}
+
+bool QuotaHierarchy::is_shed(std::size_t tenant) const {
+  CNET_REQUIRE(tenant < tenants_.size(), "tenant index out of range");
+  return tenants_[tenant].shed.load(std::memory_order_acquire);
+}
+
+void QuotaHierarchy::attach_overload(const OverloadManager* manager) noexcept {
+  overload_ = manager;
+  parent_.attach_overload(manager);
+  for (TenantState& state : tenants_) state.bucket->attach_overload(manager);
 }
 
 std::uint64_t QuotaHierarchy::borrowed(std::size_t tenant) const {

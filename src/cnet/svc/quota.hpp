@@ -47,6 +47,8 @@
 
 namespace cnet::svc {
 
+class OverloadManager;
+
 class QuotaHierarchy {
  public:
   struct TenantConfig {
@@ -86,7 +88,13 @@ class QuotaHierarchy {
   // shortfall borrowed from the parent within the tenant's weighted limit;
   // on any shortfall everything is refunded to the level it came from and
   // the grant is rejected. tokens == 0 is a defined no-op that admits with
-  // empty parts (same contract as NetTokenBucket::consume).
+  // empty parts (same contract as NetTokenBucket::consume). Two overload
+  // interventions apply: a shed tenant is rejected up front without
+  // touching any pool, and under the degrade-partial action a short yield
+  // still admits, with Grant parts recording exactly what was taken (so
+  // release() remains an exact undo — conservation is level-local in every
+  // mode). Over-admission is impossible in every mode: each granted token
+  // was decremented from a pool bounded at zero.
   Grant acquire(std::size_t thread_hint, std::size_t tenant,
                 std::uint64_t tokens);
 
@@ -103,6 +111,22 @@ class QuotaHierarchy {
   void refill_parent(std::size_t thread_hint, std::uint64_t tokens) {
     parent_.refill(thread_hint, tokens);
   }
+
+  // Shedding (the overload manager's top tier, but callable directly):
+  // while shed, every acquire for the tenant is rejected before touching
+  // any pool — held grants stay valid and release() keeps working, so
+  // tokens already out are returned exactly as usual and conservation is
+  // unaffected. restore() re-admits; both are idempotent.
+  void shed(std::size_t tenant);
+  void restore(std::size_t tenant);
+  bool is_shed(std::size_t tenant) const;
+
+  // Puts the hierarchy under an overload manager (usually via
+  // OverloadManager::govern): acquires honor the degrade-partial action,
+  // and the parent and child buckets (plus their aware pool layers) get
+  // the shrink/force actions. The manager must outlive the hierarchy;
+  // nullptr detaches.
+  void attach_overload(const OverloadManager* manager) noexcept;
 
   std::size_t num_tenants() const noexcept { return tenants_.size(); }
   // Tokens tenant `t` currently has on loan from the parent. Bounded by
@@ -122,6 +146,7 @@ class QuotaHierarchy {
     std::uint64_t weight = 1;
     std::uint64_t limit = 0;
     std::atomic<std::uint64_t> borrowed{0};
+    std::atomic<bool> shed{false};
   };
 
   // Secures up to `want` borrow headroom for the tenant; the CAS loop over
@@ -130,6 +155,7 @@ class QuotaHierarchy {
 
   NetTokenBucket parent_;
   std::vector<TenantState> tenants_;
+  const OverloadManager* overload_ = nullptr;
 };
 
 }  // namespace cnet::svc

@@ -205,6 +205,104 @@ TEST(QuotaSim, ParentContentionOrderingMatchesThePaper) {
             simulate_quota(central, quota_config(64)).goodput_per_vtime);
 }
 
+TEST(OverloadSim, GoldenSeedReferenceTrace) {
+  // The bench's exact Table E' reference cell, pinned golden: the virtual
+  // clock makes the whole escalate→shed→recover trace a pure function of
+  // (spec, config, seed), so any drift in the engine, the quota model, or
+  // the shared policy rules shows up here as an exact-value diff.
+  const auto r = simulate_overload({svc::BackendKind::kCentralAtomic, false},
+                                   overload_sim_reference_config());
+  EXPECT_EQ(r.attempts, 9216u);  // 48 cores x 192 attempts
+  EXPECT_EQ(r.admitted, 2654u);
+  EXPECT_EQ(r.rejected, 5550u);
+  EXPECT_EQ(r.degraded_admits, 12u);
+  EXPECT_EQ(r.shed_rejects, 1012u);
+  EXPECT_EQ(r.shed_events, 4u);
+  EXPECT_EQ(r.restore_events, 4u);
+  EXPECT_EQ(r.shed_refunded_tokens, 8u);
+  EXPECT_EQ(r.peak_tier, svc::OverloadTier::kShedTenants);
+  EXPECT_EQ(r.final_tier, svc::OverloadTier::kNominal);
+  EXPECT_FALSE(r.forced_switch);  // nothing to force on a central parent
+  EXPECT_DOUBLE_EQ(r.makespan, 5580.1720385393346);
+
+  // The tier-transition instants land on the sampler grid (multiples of
+  // sample_every = 32). The ramp saturates the parent before the second
+  // sample, so the first transition jumps straight to the shed tier; the
+  // first descent drops two tiers at once, exactly as the hysteretic rule
+  // dictates at that pressure.
+  ASSERT_EQ(r.transitions.size(), 11u);
+  EXPECT_EQ(r.transitions[0].time, 128.0);
+  EXPECT_EQ(r.transitions[0].from, svc::OverloadTier::kNominal);
+  EXPECT_EQ(r.transitions[0].to, svc::OverloadTier::kShedTenants);
+  EXPECT_EQ(r.transitions[0].pressure, 1.0);
+  EXPECT_EQ(r.transitions[1].time, 960.0);
+  EXPECT_EQ(r.transitions[1].from, svc::OverloadTier::kShedTenants);
+  EXPECT_EQ(r.transitions[1].to, svc::OverloadTier::kForceEliminate);
+  EXPECT_NEAR(r.transitions[1].pressure, 0.72040816326530612, 1e-12);
+
+  // Shedding hits only the cold weight-1 tenants (shed_set: tenant 0
+  // carries the hot weight), highest indices first.
+  ASSERT_EQ(r.shed_rejects_per_tenant.size(), 8u);
+  const std::vector<std::uint64_t> expected_shed_rejects{0,   0,   0,   0,
+                                                         347, 343, 159, 163};
+  EXPECT_EQ(r.shed_rejects_per_tenant, expected_shed_rejects);
+
+  EXPECT_TRUE(r.conserved);
+  EXPECT_TRUE(r.hysteresis_respected);
+  EXPECT_TRUE(r.recovered);
+}
+
+TEST(OverloadSim, ConservesAndRecoversForEverySpec) {
+  for (const auto& spec : multicore_sweep_specs()) {
+    const auto r = simulate_overload(spec, overload_sim_reference_config());
+    SCOPED_TRACE(svc::backend_spec_name(spec));
+    EXPECT_EQ(r.attempts, 9216u);
+    // The reference ramp pushes every backend through the full ladder and
+    // back: whatever was shed was restored, every grant part (released or
+    // force-refunded) returned to its level, and no transition ever
+    // violated the hysteresis band.
+    EXPECT_EQ(r.peak_tier, svc::OverloadTier::kShedTenants);
+    EXPECT_EQ(r.final_tier, svc::OverloadTier::kNominal);
+    EXPECT_TRUE(r.conserved);
+    EXPECT_TRUE(r.hysteresis_respected);
+    EXPECT_TRUE(r.recovered);
+    EXPECT_EQ(r.shed_events, r.restore_events);
+  }
+}
+
+TEST(OverloadSim, GoldenSeedDeterminism) {
+  for (const auto& spec : multicore_sweep_specs()) {
+    const auto a = simulate_overload(spec, overload_sim_reference_config());
+    const auto b = simulate_overload(spec, overload_sim_reference_config());
+    SCOPED_TRACE(svc::backend_spec_name(spec));
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.admitted, b.admitted);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.degraded_admits, b.degraded_admits);
+    EXPECT_EQ(a.shed_rejects_per_tenant, b.shed_rejects_per_tenant);
+    ASSERT_EQ(a.transitions.size(), b.transitions.size());
+    for (std::size_t i = 0; i < a.transitions.size(); ++i) {
+      EXPECT_EQ(a.transitions[i].time, b.transitions[i].time);
+      EXPECT_EQ(a.transitions[i].from, b.transitions[i].from);
+      EXPECT_EQ(a.transitions[i].to, b.transitions[i].to);
+      EXPECT_EQ(a.transitions[i].pressure, b.transitions[i].pressure);
+    }
+  }
+}
+
+TEST(OverloadSim, AdaptiveParentTakesTheForcedSwap) {
+  // The force-eliminate action tells an adaptive parent to take its
+  // cold→hot swap at the next sample instant instead of waiting out its
+  // own switch rule — the ramp enters tier >= 2 at the fourth sample, so
+  // the swap lands exactly there.
+  const auto r = simulate_overload({svc::BackendKind::kAdaptive, false},
+                                   overload_sim_reference_config());
+  EXPECT_TRUE(r.forced_switch);
+  EXPECT_EQ(r.forced_switch_time, 128.0);
+  EXPECT_TRUE(r.conserved);
+  EXPECT_TRUE(r.recovered);
+}
+
 TEST(MulticoreSim, RejectsWhenThePoolRunsDry) {
   // No initial tokens and a huge refill cadence: every consume before the
   // first refill must be rejected, never over-admitted.

@@ -63,7 +63,31 @@ TEST(JsonEscape, EscapedOutputContainsNoRawControls) {
   }
 }
 
+TEST(Report, DuplicateCheckNameFailsTheRunLoudly) {
+  // The JSON sink renders checks as an object; a repeated name would emit
+  // duplicate keys, and a later passing reading could shadow an earlier
+  // failure in whatever parses the artifact. check() must drop the
+  // repeated reading and record a failed sentinel instead.
+  reset_for_testing();
+  ReportOptions opts;
+  check("conservation", true, opts);
+  EXPECT_EQ(finish(opts), 0) << "a unique check name tripped the gate";
+  check("conservation", true, opts);  // duplicate — even a pass must fail
+  EXPECT_NE(finish(opts), 0) << "a duplicate check name passed silently";
+
+  // The sentinel itself keeps the failure visible and cannot be shadowed
+  // by yet another repetition.
+  reset_for_testing();
+  check("determinism", false, opts);
+  check("determinism", true, opts);  // must not overwrite the failure
+  EXPECT_NE(finish(opts), 0) << "a duplicate pass masked a recorded failure";
+
+  reset_for_testing();
+  EXPECT_EQ(finish(opts), 0) << "reset_for_testing left stale checks behind";
+}
+
 TEST(Report, EmptyTableFailsTheRunLoudly) {
+  reset_for_testing();
   // A sweep that emits zero rows passed its checks vacuously; emit() must
   // record it as a failed named check so the driver exits nonzero. (The
   // report state is process-global, so this single test covers both the

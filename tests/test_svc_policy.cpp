@@ -146,7 +146,7 @@ struct PlanHarness {
   std::uint64_t child, parent, borrowed, limit;
   std::uint64_t reserves = 0, unreserves = 0;
 
-  QuotaGrantPlan acquire(std::uint64_t tokens) {
+  QuotaGrantPlan acquire(std::uint64_t tokens, bool allow_partial = false) {
     return quota_acquire(
         tokens,
         [&](std::uint64_t n) {
@@ -170,7 +170,7 @@ struct PlanHarness {
           return got;
         },
         [&](std::uint64_t n) { child += n; },
-        [&](std::uint64_t n) { parent += n; });
+        [&](std::uint64_t n) { parent += n; }, allow_partial);
   }
 };
 
@@ -215,6 +215,119 @@ TEST(QuotaPolicy, AcquireZeroAdmitsWithoutTouchingAnything) {
   EXPECT_EQ(h.child, 3u);
   EXPECT_EQ(h.parent, 4u);
   EXPECT_EQ(h.borrowed, 1u);
+}
+
+TEST(QuotaPolicy, DegradedAcquireAdmitsShortWithExactParts) {
+  // The same short-parent shape that rejects above: under allow_partial
+  // (the kDegradePartial action) it admits with exactly what both levels
+  // yielded, and the reservation headroom the parent could not cover is
+  // returned so outstanding borrow == from_parent.
+  PlanHarness h{.child = 1, .parent = 2, .borrowed = 0, .limit = 8};
+  const auto plan = h.acquire(5, /*allow_partial=*/true);
+  EXPECT_TRUE(plan.admitted);
+  EXPECT_EQ(plan.from_child, 1u);
+  EXPECT_EQ(plan.from_parent, 2u);
+  EXPECT_EQ(h.child, 0u);
+  EXPECT_EQ(h.parent, 0u);
+  EXPECT_EQ(h.borrowed, 2u);  // reserved 4, claimed 2, unreserved 2
+  EXPECT_EQ(h.unreserves, 2u);
+}
+
+TEST(QuotaPolicy, DegradedAcquireAcceptsAPartialReservation) {
+  // Shortfall 6 against headroom 2: all-or-nothing would reject without
+  // touching the parent; degrade borrows just the allowance.
+  PlanHarness h{.child = 2, .parent = 10, .borrowed = 3, .limit = 5};
+  const auto plan = h.acquire(8, /*allow_partial=*/true);
+  EXPECT_TRUE(plan.admitted);
+  EXPECT_EQ(plan.from_child, 2u);
+  EXPECT_EQ(plan.from_parent, 2u);
+  EXPECT_EQ(h.parent, 8u);
+  EXPECT_EQ(h.borrowed, 5u);  // pinned at the limit, not beyond
+}
+
+TEST(OverloadPolicy, EscalationIsImmediate) {
+  const OverloadThresholds th;
+  // From nominal, any pressure jumps straight to the highest entered tier
+  // — no ladder-climbing delay.
+  EXPECT_EQ(overload_tier(0.97, OverloadTier::kNominal, th),
+            OverloadTier::kShedTenants);
+  EXPECT_EQ(overload_tier(0.72, OverloadTier::kNominal, th),
+            OverloadTier::kForceEliminate);
+  EXPECT_EQ(overload_tier(0.49, OverloadTier::kNominal, th),
+            OverloadTier::kNominal);
+  EXPECT_EQ(overload_tier(0.50, OverloadTier::kNominal, th),
+            OverloadTier::kShrinkBatch);  // enter thresholds are inclusive
+}
+
+TEST(OverloadPolicy, DescentIsHysteretic) {
+  const OverloadThresholds th;  // enter {-, .50, .70, .85, .95}, hyst .10
+  // Inside tier 4's band (> .85): held.
+  EXPECT_EQ(overload_tier(0.90, OverloadTier::kShedTenants, th),
+            OverloadTier::kShedTenants);
+  // At the exit threshold exactly: released, down to the highest tier
+  // still held (tier 3 holds above .75).
+  EXPECT_EQ(overload_tier(0.85, OverloadTier::kShedTenants, th),
+            OverloadTier::kDegradePartial);
+  // .55 releases tiers 4..2 but tier 1 still holds (> .40).
+  EXPECT_EQ(overload_tier(0.55, OverloadTier::kShedTenants, th),
+            OverloadTier::kShrinkBatch);
+  EXPECT_EQ(overload_tier(0.40, OverloadTier::kShrinkBatch, th),
+            OverloadTier::kNominal);
+  // The band is what prevents flapping: the same .65 that cannot *enter*
+  // tier 2 does keep it alive once entered.
+  EXPECT_EQ(overload_tier(0.65, OverloadTier::kNominal, th),
+            OverloadTier::kShrinkBatch);
+  EXPECT_EQ(overload_tier(0.65, OverloadTier::kForceEliminate, th),
+            OverloadTier::kForceEliminate);
+}
+
+TEST(OverloadPolicy, ActionTableIsMonotone) {
+  auto prev = overload_actions(OverloadTier::kNominal);
+  EXPECT_EQ(prev.batch_divisor, 1u);
+  EXPECT_FALSE(prev.force_eliminate || prev.degrade_to_partial ||
+               prev.shed_tenants);
+  for (std::size_t t = 1; t < kNumOverloadTiers; ++t) {
+    const auto cur = overload_actions(static_cast<OverloadTier>(t));
+    EXPECT_GE(cur.batch_divisor, prev.batch_divisor) << "tier " << t;
+    EXPECT_TRUE(cur.force_eliminate || !prev.force_eliminate) << "tier " << t;
+    EXPECT_TRUE(cur.degrade_to_partial || !prev.degrade_to_partial)
+        << "tier " << t;
+    EXPECT_TRUE(cur.shed_tenants || !prev.shed_tenants) << "tier " << t;
+    prev = cur;
+  }
+  EXPECT_EQ(prev.batch_divisor, kOverloadBatchDivisor);
+  EXPECT_TRUE(prev.force_eliminate && prev.degrade_to_partial &&
+              prev.shed_tenants);
+}
+
+TEST(OverloadPolicy, PressureRulesClampAndTreatEmptiesAsIdle) {
+  // Empty window and zero saturation both read as zero — an idle system
+  // decays to nominal instead of holding its last reading.
+  EXPECT_EQ(window_pressure({.ops = 0, .events = 9}, 2.0), 0.0);
+  EXPECT_EQ(window_pressure({.ops = 10, .events = 5}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(window_pressure({.ops = 10, .events = 5}, 2.0), 0.25);
+  EXPECT_EQ(window_pressure({.ops = 4, .events = 1000}, 1.0), 1.0);  // clamp
+  EXPECT_EQ(occupancy_pressure(5, 0), 0.0);  // unbounded cannot saturate
+  EXPECT_DOUBLE_EQ(occupancy_pressure(3, 4), 0.75);
+  EXPECT_EQ(occupancy_pressure(9, 4), 1.0);
+  // Max-combine: the worst signal wins; out-of-range readings clamp.
+  EXPECT_DOUBLE_EQ(combine_pressure({0.2, 0.9, 0.1}), 0.9);
+  EXPECT_EQ(combine_pressure({-3.0, 7.0}), 1.0);
+  EXPECT_EQ(combine_pressure({}), 0.0);
+}
+
+TEST(OverloadPolicy, ShedSetPicksLowWeightsAndNeverShedsEveryone) {
+  // Weights {4,2,1,1} at fraction .25: weight budget 2 — both weight-1
+  // tenants, the higher index first, reported ascending.
+  EXPECT_EQ(shed_set({4, 2, 1, 1}, 0.25), (std::vector<std::size_t>{2, 3}));
+  // Ties break toward the higher index, so tenant 0 goes last.
+  EXPECT_EQ(shed_set({1, 1, 1}, 0.34), (std::vector<std::size_t>{1, 2}));
+  // Even fraction 1.0 leaves one tenant standing.
+  EXPECT_EQ(shed_set({5, 3, 2}, 1.0), (std::vector<std::size_t>{1, 2}));
+  // Degenerate inputs shed nobody.
+  EXPECT_TRUE(shed_set({7}, 0.9).empty());
+  EXPECT_TRUE(shed_set({3, 4}, 0.0).empty());
+  EXPECT_TRUE(shed_set({}, 0.5).empty());
 }
 
 }  // namespace

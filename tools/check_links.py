@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Markdown intra-repo link checker for the docs CI job.
+
+Scans README.md, ROADMAP.md, and docs/**/*.md for inline markdown links
+([text](target)) and verifies every intra-repo target resolves:
+
+  - relative file/directory targets must exist on disk (resolved against
+    the markdown file's own directory, confined to the repo root);
+  - a '#anchor' suffix on a markdown target must match a heading in that
+    file, using GitHub's slug rules (lowercase, spaces -> '-', punctuation
+    stripped, duplicate slugs suffixed -1, -2, ...);
+  - bare '#anchor' targets are checked against the current file.
+
+External links (http/https/mailto) are listed but never fetched. Stdlib
+only; exits nonzero iff any intra-repo link is broken.
+"""
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Inline links only ([text](target)); images share the syntax and are
+# checked too. Reference-style links are not used in this repo.
+LINK_RE = re.compile(r"(!?)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip markdown emphasis/code/links, lowercase,
+    drop punctuation, spaces and hyphens become hyphens."""
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # [t](u) -> t
+    text = re.sub(r"[`*_]", "", text)
+    text = text.strip().lower()
+    out = []
+    for ch in text:
+        if ch.isalnum():
+            out.append(ch)
+        elif ch in (" ", "-"):
+            out.append("-")
+        # everything else (punctuation) is dropped
+    return "".join(out)
+
+
+def heading_slugs(md_path: Path) -> set[str]:
+    """All anchor slugs a markdown file exposes, with GitHub's -N dedup."""
+    counts: dict[str, int] = {}
+    slugs: set[str] = set()
+    in_fence = False
+    for line in md_path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def iter_links(md_path: Path):
+    """Yield (line_number, is_image, target) for every inline link outside
+    code fences, skipping inline-code spans so grammar examples aren't
+    parsed as links."""
+    in_fence = False
+    for lineno, line in enumerate(
+        md_path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        stripped = re.sub(r"`[^`]*`", "", line)
+        for m in LINK_RE.finditer(stripped):
+            yield lineno, m.group(1) == "!", m.group(2)
+
+
+def check_file(md_path: Path) -> list[str]:
+    errors = []
+    for lineno, is_image, target in iter_links(md_path):
+        where = f"{md_path.relative_to(REPO_ROOT)}:{lineno}"
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue  # external: listed in --verbose runs only, never fetched
+        path_part, _, anchor = target.partition("#")
+        if not path_part:  # bare '#anchor' -> this file
+            dest = md_path
+        else:
+            dest = (md_path.parent / path_part).resolve()
+            try:
+                dest.relative_to(REPO_ROOT)
+            except ValueError:
+                # Badges (image links) legitimately point at the hosting
+                # site's web routes, e.g. ../../actions/.../badge.svg on
+                # GitHub — those aren't files in the working tree.
+                if not is_image:
+                    errors.append(f"{where}: link escapes the repo: {target}")
+                continue
+            if not dest.exists():
+                errors.append(f"{where}: broken link: {target}")
+                continue
+        if anchor:
+            if dest.is_dir() or dest.suffix.lower() not in (".md", ".markdown"):
+                errors.append(
+                    f"{where}: anchor on a non-markdown target: {target}"
+                )
+                continue
+            if github_slug(anchor) not in heading_slugs(dest):
+                errors.append(f"{where}: missing anchor: {target}")
+    return errors
+
+
+def main() -> int:
+    files = [REPO_ROOT / "README.md", REPO_ROOT / "ROADMAP.md"]
+    files += sorted((REPO_ROOT / "docs").rglob("*.md"))
+    files = [f for f in files if f.exists()]
+
+    all_errors = []
+    checked = 0
+    for md in files:
+        errs = check_file(md)
+        checked += 1
+        all_errors.extend(errs)
+
+    if all_errors:
+        for e in all_errors:
+            print(e, file=sys.stderr)
+        print(
+            f"\n{len(all_errors)} broken link(s) across {checked} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"all intra-repo links OK across {checked} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
