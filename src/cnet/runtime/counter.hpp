@@ -99,6 +99,16 @@ class Counter {
   // is keeping this number below the op count, so it is the denominator of
   // the "traversals per op" benches.
   virtual std::uint64_t traversal_count() const { return 0; }
+
+  // Amortized batch passes taken through the structure (one per
+  // fetch_increment_batch call that used a real batch traversal). Paired
+  // with traversal_count this exposes the *effective* batch size —
+  // traversals per pass — which is how an observer can tell that a smaller
+  // batch chunk (the overload manager's shrink-batch action, or a staged
+  // re-chunk through the reconfiguration engine) actually reached the
+  // backend rather than stopping at a caller's loop arithmetic. Backends
+  // without a batch path report 0.
+  virtual std::uint64_t batch_pass_count() const { return 0; }
 };
 
 // Decorator base (GoF-style): owns an inner Counter and forwards every
@@ -139,6 +149,9 @@ class ForwardingCounter : public Counter {
   std::uint64_t stall_count() const override { return inner_->stall_count(); }
   std::uint64_t traversal_count() const override {
     return inner_->traversal_count();
+  }
+  std::uint64_t batch_pass_count() const override {
+    return inner_->batch_pass_count();
   }
 
   Counter& inner() noexcept { return *inner_; }

@@ -152,6 +152,7 @@ void BatchedNetworkCounter::fetch_increment_batch(std::size_t thread_hint,
                       scratch, wire_counts.data());
   stalls_.add(thread_hint, local_stalls);
   traversals_.add(thread_hint, static_cast<std::uint64_t>(k));
+  batch_passes_.add(thread_hint, 1);
 
   const auto t = static_cast<std::int64_t>(net_.width_out());
   std::size_t filled = 0;

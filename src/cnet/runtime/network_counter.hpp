@@ -66,6 +66,13 @@ class NetworkCounter : public Counter {
   std::uint64_t traversal_count() const override {
     return traversals_.total();
   }
+  // Batch passes taken by BatchedNetworkCounter's amortized path (0 on the
+  // per-token base class): traversal_count() / batch_pass_count() is the
+  // observed tokens-per-pass, the number that proves a shrunken batch
+  // chunk reached the network.
+  std::uint64_t batch_pass_count() const override {
+    return batch_passes_.total();
+  }
 
   std::size_t width_in() const noexcept { return net_.width_in(); }
   std::size_t width_out() const noexcept { return net_.width_out(); }
@@ -79,6 +86,7 @@ class NetworkCounter : public Counter {
   std::vector<util::Padded<std::atomic<std::int64_t>>> cells_;
   util::StallSlots stalls_;
   util::StallSlots traversals_;
+  util::StallSlots batch_passes_;
 
  private:
   bool try_claim_cell(std::size_t wire, std::size_t thread_hint,

@@ -1486,4 +1486,168 @@ OverloadSimResult simulate_overload(const svc::BackendSpec& parent_spec,
   return res;
 }
 
+// --------------------------------------------------------------- reconfig
+
+ReconfigSimConfig reconfig_sim_reference_config() {
+  ReconfigSimConfig cfg;
+  cfg.base.cores = 8;
+  cfg.base.ops_per_core = 2048;
+  cfg.base.refill_every = 128;
+  cfg.base.initial_tokens_per_core = 64;
+  cfg.base.exponential_service = true;
+  cfg.base.seed = 0x5EC0AD;
+  cfg.spec_to = {svc::BackendKind::kCentralAtomic, false};
+  cfg.respec_at = 300.0;
+  cfg.rechunk_divisor = 4;
+  return cfg;
+}
+
+svc::BackendSpec reconfig_respec_target(const svc::BackendSpec& spec_from) {
+  switch (spec_from.kind) {
+    case svc::BackendKind::kCentralAtomic:
+    case svc::BackendKind::kCentralCas:
+    case svc::BackendKind::kCentralMutex:
+      return {svc::BackendKind::kBatchedNetwork, false};
+    default:
+      return {svc::BackendKind::kCentralAtomic, false};
+  }
+}
+
+ReconfigSimResult simulate_reconfig(const svc::BackendSpec& spec_from,
+                                    const ReconfigSimConfig& cfg) {
+  const MulticoreConfig& base = cfg.base;
+  CNET_REQUIRE(base.cores >= 1, "need at least one simulated core");
+  CNET_REQUIRE(base.ops_per_core >= 1, "need at least one op per core");
+  CNET_REQUIRE(base.refill_every >= 1, "refill cadence must be positive");
+  CNET_REQUIRE(cfg.respec_at >= 0.0, "respec instant must be nonnegative");
+  // The same staging rules the live NetTokenBucket::respec enforces: the
+  // re-divided chunk is computed by the shared policy function and must be
+  // a legal chunk before anything is built.
+  const std::size_t staged_chunk =
+      svc::divided_chunk(base.batch_k, cfg.rechunk_divisor);
+  CNET_REQUIRE(svc::respec_safe(staged_chunk),
+               "staged batch chunk out of range");
+
+  Engine eng;
+  util::Xoshiro256 rng(base.seed);
+  ModelStack old_stack = make_model(spec_from, eng, base, rng);
+  ModelStack new_stack;  // built off to the side at the stage instant
+
+  ReconfigSimResult res;
+  res.staged_chunk = staged_chunk;
+  res.initial_tokens = base.initial_tokens_per_core * base.cores;
+  old_stack.root->inject_pool_now(res.initial_tokens);
+
+  // The RCU mirror: `active` is the published pointer new ops load at
+  // issue; ops already in flight on the old stack are the reader sections
+  // the commit must wait out. outstanding_old counts them exactly.
+  CounterModel* active = old_stack.root.get();
+  std::uint64_t outstanding_old = 0;
+  bool staged = false;
+  bool committed = false;
+
+  const auto maybe_commit = [&] {
+    if (!staged || committed || outstanding_old != 0) return;
+    // Quiescence: no in-flight op can touch the old stack again, so its
+    // remaining count is well-defined — the paper's §2.2 argument run in
+    // reverse — and the migration is one exact instantaneous transfer.
+    committed = true;
+    res.respec_commit_time = eng.now();
+    res.migrated_tokens = old_stack.root->drain_pool_now();
+    new_stack.root->inject_pool_now(res.migrated_tokens);
+    res.config_version = 2;
+  };
+
+  eng.at(cfg.respec_at, [&] {
+    // Stage: build the full replacement (new backend, re-divided chunk)
+    // and publish it. From this event on, every newly issued op routes to
+    // the new stack; the commit fires once the old drains.
+    MulticoreConfig staged_cfg = base;
+    staged_cfg.batch_k = staged_chunk;
+    new_stack = make_model(cfg.spec_to, eng, staged_cfg, rng);
+    active = new_stack.root.get();
+    staged = true;
+    res.respec_staged_time = eng.now();
+    maybe_commit();
+  });
+
+  // The simulate_multicore workload, with each op's issue reading the
+  // published pointer (and bumping the old stack's reader count when it
+  // still routes there).
+  struct CoreState {
+    std::size_t ops_done = 0;
+    std::size_t since_refill = 0;
+  };
+  std::vector<CoreState> cores(base.cores);
+  double makespan = 0.0;
+
+  std::function<void(std::size_t)> step = [&](std::size_t c) {
+    CoreState& core = cores[c];
+    if (core.ops_done == base.ops_per_core) return;
+    CounterModel* m = active;
+    const bool on_old = !staged;  // active flips exactly at the stage event
+    if (on_old) ++outstanding_old;
+    m->try_decrement_n(c, 1, [&, c, on_old](std::uint64_t got) {
+      if (on_old) --outstanding_old;
+      const std::uint64_t granted = svc::bucket_consume(
+          1, /*allow_partial=*/true,
+          [got](std::uint64_t) mutable {
+            return std::exchange(got, std::uint64_t{0});
+          },
+          [](std::uint64_t) {});
+      CoreState& me = cores[c];
+      ++res.consume_ops;
+      ++me.ops_done;
+      res.consumed += granted;
+      if (granted == 0) ++res.rejected;
+      makespan = std::max(makespan, eng.now());
+      maybe_commit();  // this may have been the last old-stack reader
+      const bool refill_due = ++me.since_refill == base.refill_every;
+      if (refill_due) me.since_refill = 0;
+      const double next_at = eng.now() + base.think_time;
+      if (refill_due) {
+        CounterModel* rm = active;
+        const bool refill_on_old = !staged;
+        if (refill_on_old) ++outstanding_old;
+        rm->increment_n(c, base.refill_every, [&, c, refill_on_old,
+                                               next_at] {
+          if (refill_on_old) --outstanding_old;
+          res.refilled += base.refill_every;
+          makespan = std::max(makespan, eng.now());
+          maybe_commit();
+          eng.at(std::max(next_at, eng.now()), [&, c] { step(c); });
+        });
+      } else {
+        eng.at(next_at, [&, c] { step(c); });
+      }
+    });
+  };
+
+  for (std::size_t c = 0; c < base.cores; ++c) step(c);
+  eng.run();
+
+  res.makespan = makespan;
+  res.old_stalls = old_stack.root->stalls();
+  res.new_stalls = new_stack.root != nullptr ? new_stack.root->stalls() : 0;
+  const std::int64_t old_pool = old_stack.root->pool();
+  const std::int64_t new_pool =
+      new_stack.root != nullptr ? new_stack.root->pool() : 0;
+  res.final_pool = old_pool + new_pool;
+  bool never_negative = !old_stack.root->pool_ever_negative();
+  if (new_stack.root != nullptr) {
+    never_negative = never_negative && !new_stack.root->pool_ever_negative();
+  }
+  res.conserved =
+      never_negative && res.final_pool >= 0 &&
+      (!committed || old_pool == 0) &&  // the retired pool stays drained
+      res.consumed + static_cast<std::uint64_t>(res.final_pool) ==
+          res.refilled + res.initial_tokens;
+
+  for (const CoreState& core : cores) {
+    CNET_ENSURE(core.ops_done == base.ops_per_core,
+                "simulated core finished early");
+  }
+  return res;
+}
+
 }  // namespace cnet::sim

@@ -313,6 +313,80 @@ OverloadSimResult simulate_overload(const svc::BackendSpec& parent_spec,
 // drift onto different configs.
 OverloadSimConfig overload_sim_reference_config();
 
+// --------------------------------------------------------------- reconfig
+
+// The svc::ReconfigEngine staged-commit protocol in virtual time (Table
+// F's model counterpart): the simulate_multicore workload runs against a
+// pool built from `spec_from`, and at `respec_at` a full replacement stack
+// — `spec_to`, with the batch chunk re-divided through the same
+// svc::divided_chunk rule the live respec bakes in — is *staged*: new ops
+// route to it immediately (the RCU publish), while ops already in flight
+// on the old stack drain. The *commit* fires at the exact instant the last
+// in-flight old op completes (the event-driven mirror of the engine's
+// reader-quiescence wait): the old pool's remaining count migrates into
+// the new stack in one instantaneous exact transfer and the config version
+// bumps. Everything is deterministic given the seed, and the commit
+// instant is part of the result so tests can pin it golden.
+struct ReconfigSimConfig {
+  // Engine/model knobs plus the workload shape (cores, ops_per_core,
+  // refill_every, initial_tokens_per_core are all used, exactly as in
+  // simulate_multicore).
+  MulticoreConfig base;
+
+  // The staged replacement: target spec, the virtual instant the stage
+  // publishes, and the divisor folded into the staged batch chunk
+  // (staged chunk = svc::divided_chunk(base.batch_k, rechunk_divisor),
+  // validated by svc::respec_safe — the same rules the live
+  // NetTokenBucket::respec applies).
+  svc::BackendSpec spec_to{svc::BackendKind::kCentralAtomic, false};
+  double respec_at = 300.0;
+  std::size_t rechunk_divisor = 4;
+};
+
+struct ReconfigSimResult {
+  double makespan = 0.0;
+  std::uint64_t consume_ops = 0;
+  std::uint64_t consumed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t refilled = 0;
+  std::uint64_t initial_tokens = 0;
+
+  // The staged-commit trace. staged: the publish instant (== respec_at
+  // clamped to event order); commit: when the last in-flight old-stack op
+  // drained and the migration ran — strictly the quiescence point.
+  double respec_staged_time = -1.0;
+  double respec_commit_time = -1.0;
+  std::uint64_t migrated_tokens = 0;   // old pool's exact remainder
+  std::size_t staged_chunk = 0;        // divided_chunk actually committed
+  std::uint64_t config_version = 1;    // 2 once the commit fired
+
+  std::uint64_t old_stalls = 0;  // queueing on the retired stack
+  std::uint64_t new_stalls = 0;  // queueing on the staged stack
+  std::int64_t final_pool = 0;   // old remainder (0 post-commit) + new pool
+  // consumed + final_pool == refilled + initial_tokens, no model pool ever
+  // negative, and the retired pool is empty once the commit has fired —
+  // tokens were in one pool or the other at every event, never both.
+  bool conserved = false;
+};
+
+// Deterministic from (spec_from, cfg, cfg.base.seed), like
+// simulate_multicore.
+ReconfigSimResult simulate_reconfig(const svc::BackendSpec& spec_from,
+                                    const ReconfigSimConfig& cfg);
+
+// The Table F reference workload (8 cores, mid-run respec, fixed seed) —
+// shared by bench_tab_reconfig and the sim tests so the CI-gated
+// conservation/determinism checks and the golden commit-instant tests can
+// never drift onto different configs.
+ReconfigSimConfig reconfig_sim_reference_config();
+
+// The Table F pairing rule, shared for the same reason: central kinds
+// re-spec up to the batched network (the escalation direction), every
+// other kind re-specs down to the central word (the de-escalation
+// direction). Both directions cross the batching boundary, which is what
+// exercises the chunk re-division.
+svc::BackendSpec reconfig_respec_target(const svc::BackendSpec& spec_from);
+
 // The Table B' sweep axis, shared by bench_tab_svc_sim and the sim tests
 // so they can never drift apart: every pool-capable kind plain, plus the
 // elimination front-end on the two bookend backends (central word and

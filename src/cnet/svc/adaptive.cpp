@@ -9,10 +9,10 @@ namespace cnet::svc {
 
 AdaptiveCounter::AdaptiveCounter(const Config& cfg)
     : cfg_(cfg),
-      cold_(make_counter(cfg.cold, cfg.net)),
-      hot_(make_counter(cfg.hot, cfg.net)),
-      active_(cold_.get()),
-      in_flight_(kReaderSlots),
+      engine_(make_counter(cfg.cold, cfg.net)),
+      hot_staged_(make_counter(cfg.hot, cfg.net)),
+      cold_(&engine_.current()),
+      hot_(hot_staged_.get()),
       // Of the central kinds only the CAS word records stalls on its
       // increment path (atomic is fetch_add, mutex does not track), so
       // only there can a refund batch pollute the window (see refund_n).
@@ -23,25 +23,8 @@ AdaptiveCounter::AdaptiveCounter(const Config& cfg)
                "adaptive backends do not nest");
 }
 
-template <class Fn>
-auto AdaptiveCounter::with_active(std::size_t thread_hint, Fn&& fn) {
-  auto& slot = in_flight_[thread_hint % kReaderSlots].value;
-  // seq_cst on the enter RMW and the pointer load pairs with the switcher's
-  // seq_cst publish + slot scan: in the single total order, either our
-  // enter precedes the scan (the switcher waits for us) or the publish
-  // precedes our load (we already run on the new backend). Either way no op
-  // touches the cold backend after the switcher starts draining it.
-  slot.fetch_add(1, std::memory_order_seq_cst);
-  rt::Counter* active = active_.load(std::memory_order_seq_cst);
-  struct Exit {
-    std::atomic<std::uint64_t>& slot;
-    ~Exit() { slot.fetch_sub(1, std::memory_order_release); }
-  } exit{slot};
-  return fn(*active);
-}
-
 std::int64_t AdaptiveCounter::fetch_increment(std::size_t thread_hint) {
-  const std::int64_t v = with_active(thread_hint, [&](rt::Counter& c) {
+  const std::int64_t v = engine_.read(thread_hint, [&](rt::Counter& c) {
     return c.fetch_increment(thread_hint);
   });
   after_ops(thread_hint, 1);
@@ -51,7 +34,7 @@ std::int64_t AdaptiveCounter::fetch_increment(std::size_t thread_hint) {
 void AdaptiveCounter::fetch_increment_batch(std::size_t thread_hint,
                                             std::size_t k,
                                             std::int64_t* out_values) {
-  with_active(thread_hint, [&](rt::Counter& c) {
+  engine_.read(thread_hint, [&](rt::Counter& c) {
     c.fetch_increment_batch(thread_hint, k, out_values);
     return 0;
   });
@@ -60,7 +43,7 @@ void AdaptiveCounter::fetch_increment_batch(std::size_t thread_hint,
 
 bool AdaptiveCounter::try_fetch_decrement(std::size_t thread_hint,
                                           std::int64_t* reclaimed) {
-  const bool ok = with_active(thread_hint, [&](rt::Counter& c) {
+  const bool ok = engine_.read(thread_hint, [&](rt::Counter& c) {
     return c.try_fetch_decrement(thread_hint, reclaimed);
   });
   after_ops(thread_hint, 1);
@@ -69,7 +52,7 @@ bool AdaptiveCounter::try_fetch_decrement(std::size_t thread_hint,
 
 std::uint64_t AdaptiveCounter::try_fetch_decrement_n(std::size_t thread_hint,
                                                      std::uint64_t n) {
-  const std::uint64_t got = with_active(thread_hint, [&](rt::Counter& c) {
+  const std::uint64_t got = engine_.read(thread_hint, [&](rt::Counter& c) {
     return c.try_fetch_decrement_n(thread_hint, n);
   });
   // Charge the tokens actually transferred (minimum one for the attempt),
@@ -100,7 +83,7 @@ void AdaptiveCounter::refund_n(std::size_t thread_hint, std::uint64_t n) {
   std::int64_t scratch[kChunk];
   while (n > 0) {
     const auto k = static_cast<std::size_t>(std::min(n, kChunk));
-    with_active(thread_hint, [&](rt::Counter& c) {
+    engine_.read(thread_hint, [&](rt::Counter& c) {
       c.fetch_increment_batch(thread_hint, k, scratch);
       return 0;
     });
@@ -114,8 +97,7 @@ void AdaptiveCounter::refund_n(std::size_t thread_hint, std::uint64_t n) {
 }
 
 std::string AdaptiveCounter::name() const {
-  const rt::Counter* active = active_.load(std::memory_order_acquire);
-  return "adaptive·" + active->name();
+  return "adaptive·" + engine_.current().name();
 }
 
 void AdaptiveCounter::after_ops(std::size_t thread_hint, std::uint64_t n) {
@@ -157,32 +139,28 @@ void AdaptiveCounter::do_switch(std::size_t thread_hint) {
                                                std::memory_order_acq_rel)) {
     return;  // someone else is (or was) the switcher
   }
-  // Publish, then wait for reader quiescence: once every slot drains, no op
-  // can touch the cold backend again (see with_active), so it sits in a
-  // quiescent state whose remaining pool count is exactly what
-  // try_fetch_decrement_n can reclaim.
-  active_.store(hot_.get(), std::memory_order_seq_cst);
-  for (auto& slot : in_flight_) {
-    while (slot.value.load(std::memory_order_seq_cst) != 0) {
-      std::this_thread::yield();
-    }
-  }
-  // Token migration: drain the cold pool and push the same number of tokens
-  // into the hot backend. Values are pool tokens (no identity), so only the
-  // count must be conserved — and it is, exactly: consumers racing with the
-  // drain see tokens in one pool or the other, never in both.
-  std::uint64_t moved = 0;
-  constexpr std::uint64_t kChunk = 256;
-  std::int64_t scratch[kChunk];
-  for (std::uint64_t got;
-       (got = cold_->try_fetch_decrement_n(thread_hint, kChunk)) != 0;) {
-    moved += got;
-  }
-  for (std::uint64_t left = moved; left > 0;) {
-    const auto k = static_cast<std::size_t>(std::min(left, kChunk));
-    hot_->fetch_increment_batch(thread_hint, k, scratch);
-    left -= k;
-  }
+  // The engine publishes the hot backend and waits for reader quiescence;
+  // the migration then runs against a cold backend no op can touch again,
+  // so its remaining pool count is exactly what try_fetch_decrement_n can
+  // reclaim. Values are pool tokens (no identity), so only the count must
+  // be conserved — and it is, exactly: consumers racing with the drain see
+  // tokens in one pool or the other, never in both.
+  engine_.commit(std::move(hot_staged_),
+                 [&](rt::Counter& cold, rt::Counter& hot) {
+                   std::uint64_t moved = 0;
+                   constexpr std::uint64_t kChunk = 256;
+                   std::int64_t scratch[kChunk];
+                   for (std::uint64_t got; (got = cold.try_fetch_decrement_n(
+                                                thread_hint, kChunk)) != 0;) {
+                     moved += got;
+                   }
+                   for (std::uint64_t left = moved; left > 0;) {
+                     const auto k =
+                         static_cast<std::size_t>(std::min(left, kChunk));
+                     hot.fetch_increment_batch(thread_hint, k, scratch);
+                     left -= k;
+                   }
+                 });
   switched_.store(true, std::memory_order_release);
 }
 

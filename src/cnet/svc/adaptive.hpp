@@ -6,14 +6,13 @@
 // bottleneck the paper's networks exist to break (envoy's adaptive
 // admission filters make the same move between cheap and resilient modes).
 //
-// The swap is RCU-style: ops enter a padded per-slot reader count, read the
-// active-backend pointer, run, and leave; the switcher publishes the new
-// pointer, waits until every reader slot drains to zero — the runtime
-// analogue of the quiescent states of paper §2.2 / topology/quiescent,
-// where the old structure's outstanding token count is a well-defined
-// function of what entered it — and only then migrates the cold backend's
-// remaining pool tokens into the new one, so the available count is
-// conserved exactly across the swap.
+// The swap is the svc::ReconfigEngine staged-commit protocol — this class
+// was the machinery's original home and is now its first client: ops run
+// in engine reader sections, the switch stages the hot backend and commits
+// it, and the engine's quiescence wait (the runtime analogue of the
+// quiescent states of paper §2.2 / topology/quiescent, where the old
+// structure's outstanding token count is a well-defined function of what
+// entered it) is what makes the exact pool-token migration provable.
 //
 // Pool semantics only: the value sequence restarts on the new backend, so
 // counts (token buckets, semaphore pools) are conserved and bound at zero,
@@ -26,17 +25,18 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <vector>
 
 #include "cnet/runtime/counter.hpp"
 #include "cnet/svc/backend.hpp"
 #include "cnet/svc/load_stats.hpp"
 #include "cnet/svc/overload.hpp"
-#include "cnet/util/cacheline.hpp"
+#include "cnet/svc/reconfig.hpp"
 
 namespace cnet::svc {
 
-class AdaptiveCounter final : public rt::Counter, public OverloadAware {
+class AdaptiveCounter final : public rt::Counter,
+                              public OverloadAware,
+                              public Reconfigurable {
  public:
   struct Config {
     BackendKind cold = BackendKind::kCentralAtomic;
@@ -66,11 +66,32 @@ class AdaptiveCounter final : public rt::Counter, public OverloadAware {
   void refund_n(std::size_t thread_hint, std::uint64_t n) override;
 
   std::string name() const override;
+  // Lifetime contention total minus the stalls banked against refund
+  // batches — the same refund-adjusted view the internal switch probe
+  // windows over. Reporting the raw cold+hot total here resurfaced the
+  // refund-storm bug externally: a stall-rate overload monitor windowing
+  // this count saw the very stalls the probe deliberately excludes and
+  // could escalate on a storm that admitted nothing.
   std::uint64_t stall_count() const override {
+    const std::uint64_t raw = cold_->stall_count() + hot_->stall_count();
+    const std::uint64_t excluded =
+        refund_stalls_.load(std::memory_order_relaxed);
+    return raw >= excluded ? raw - excluded : 0;
+  }
+  // Diagnostics for the adjustment above: the unadjusted backend total and
+  // the banked refund exclusion. stall_count() == max(0,
+  // backend_stall_count() - refund_stall_count()) at every instant.
+  std::uint64_t backend_stall_count() const {
     return cold_->stall_count() + hot_->stall_count();
+  }
+  std::uint64_t refund_stall_count() const noexcept {
+    return refund_stalls_.load(std::memory_order_relaxed);
   }
   std::uint64_t traversal_count() const override {
     return cold_->traversal_count() + hot_->traversal_count();
+  }
+  std::uint64_t batch_pass_count() const override {
+    return cold_->batch_pass_count() + hot_->batch_pass_count();
   }
 
   // True once the hot backend serves all new ops (the swap and token
@@ -82,6 +103,11 @@ class AdaptiveCounter final : public rt::Counter, public OverloadAware {
   // (whoever performs it) has completed. Deterministic-test and
   // operator-escape hatch.
   void force_switch(std::size_t thread_hint);
+
+  // The version stamp: 1 while cold, 2 once the swap has committed.
+  std::uint64_t config_version() const noexcept override {
+    return engine_.config_version();
+  }
 
   // Overload hook: once attached, a tier carrying force_eliminate makes
   // the next sample boundary take the cold→hot swap immediately instead of
@@ -95,21 +121,18 @@ class AdaptiveCounter final : public rt::Counter, public OverloadAware {
   const LoadStats& stats() const noexcept { return stats_; }
 
  private:
-  static constexpr std::size_t kReaderSlots = 64;
-
-  // Runs fn against the currently active backend inside a reader section.
-  template <class Fn>
-  auto with_active(std::size_t thread_hint, Fn&& fn);
-
   // Post-op bookkeeping: sample the load probe and switch when warranted.
   void after_ops(std::size_t thread_hint, std::uint64_t n);
   void do_switch(std::size_t thread_hint);
 
   Config cfg_;
-  std::unique_ptr<rt::Counter> cold_;
-  std::unique_ptr<rt::Counter> hot_;
-  std::atomic<rt::Counter*> active_;
-  std::vector<util::Padded<std::atomic<std::uint64_t>>> in_flight_;
+  // Owns the active backend (the cold one until the switch commits) and
+  // keeps the retired cold backend alive afterwards, so the observation
+  // pointers below stay valid for telemetry across the swap.
+  ReconfigEngine<rt::Counter> engine_;
+  std::unique_ptr<rt::Counter> hot_staged_;  // owned here until the commit
+  rt::Counter* cold_;  // observation pointers; storage lives in engine_ /
+  rt::Counter* hot_;   // hot_staged_ (then engine_ after the commit)
   std::atomic<bool> switch_claimed_{false};
   std::atomic<bool> switched_{false};
   // True when the cold kind's *increment* path can record stalls (the CAS

@@ -1,6 +1,7 @@
 #include "cnet/svc/net_token_bucket.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "cnet/svc/overload.hpp"
 #include "cnet/svc/policy.hpp"
@@ -8,19 +9,22 @@
 
 namespace cnet::svc {
 
-namespace {
-constexpr std::size_t kRefillChunkCap = 256;
-}  // namespace
+std::unique_ptr<NetTokenBucket::PoolState> NetTokenBucket::make_state(
+    std::unique_ptr<rt::Counter> pool, std::size_t refill_chunk) {
+  CNET_REQUIRE(pool != nullptr, "null pool counter");
+  CNET_REQUIRE(respec_safe(refill_chunk), "refill_chunk must be in 1..256");
+  auto state = std::make_unique<PoolState>();
+  state->pool = std::move(pool);
+  state->refill_chunk = refill_chunk;
+  return state;
+}
 
 NetTokenBucket::NetTokenBucket(std::unique_ptr<rt::Counter> pool)
     : NetTokenBucket(std::move(pool), Config()) {}
 
 NetTokenBucket::NetTokenBucket(std::unique_ptr<rt::Counter> pool, Config cfg)
-    : pool_(std::move(pool)), cfg_(cfg) {
-  CNET_REQUIRE(pool_ != nullptr, "null pool counter");
-  CNET_REQUIRE(cfg_.refill_chunk > 0 && cfg_.refill_chunk <= kRefillChunkCap,
-               "refill_chunk must be in 1..256");
-  if (cfg_.initial_tokens > 0) refill(0, cfg_.initial_tokens);
+    : engine_(make_state(std::move(pool), cfg.refill_chunk)) {
+  if (cfg.initial_tokens > 0) refill(0, cfg.initial_tokens);
 }
 
 std::uint64_t NetTokenBucket::consume(std::size_t thread_hint,
@@ -28,29 +32,37 @@ std::uint64_t NetTokenBucket::consume(std::size_t thread_hint,
                                       bool allow_partial) {
   if (tokens == 0) return 0;  // defined no-op: success, pool untouched
   attempts_.add(thread_hint, 1);
-  if (tokens == 1) {
-    // The common admit(1) case takes the single-op path: same conclusive
-    // miss-means-empty contract, no bulk machinery — and on an ElimCounter
-    // pool it is the path that deposits in the exchange slots, so lone
-    // consumes can pair with a racing batch refill.
-    if (pool_->try_fetch_decrement(thread_hint)) return 1;
-    rejects_.add(thread_hint, 1);
-    return 0;
-  }
-  // The grab/refund plan is the shared svc::bucket_consume policy (the
-  // virtual-time simulator runs the identical plan against its pool
-  // models). Bulk claims: central backends take the whole remainder in one
-  // CAS, network backends in one antitoken traversal + block cell claims.
-  // A zero return is conclusive — the pool was observably empty — and an
-  // all-or-nothing shortfall goes back through refund_n, not refill():
-  // count-wise the same increments, but marked so an adaptive pool's load
-  // probe never mistakes a pure-reject storm for organic traffic.
-  const std::uint64_t got = bucket_consume(
-      tokens, allow_partial,
-      [&](std::uint64_t want) {
-        return pool_->try_fetch_decrement_n(thread_hint, want);
-      },
-      [&](std::uint64_t refund) { pool_->refund_n(thread_hint, refund); });
+  const std::uint64_t got =
+      engine_.read(thread_hint, [&](PoolState& state) -> std::uint64_t {
+        if (tokens == 1) {
+          // The common admit(1) case takes the single-op path: same
+          // conclusive miss-means-empty contract, no bulk machinery — and
+          // on an ElimCounter pool it is the path that deposits in the
+          // exchange slots, so lone consumes can pair with a racing batch
+          // refill.
+          return state.pool->try_fetch_decrement(thread_hint) ? 1 : 0;
+        }
+        // The grab/refund plan is the shared svc::bucket_consume policy (the
+        // virtual-time simulator runs the identical plan against its pool
+        // models). Bulk claims: central backends take the whole remainder in
+        // one CAS, network backends in one antitoken traversal + block cell
+        // claims. A zero return is conclusive — the pool was observably
+        // empty — and an all-or-nothing shortfall goes back through
+        // refund_n, not refill(): count-wise the same increments, but marked
+        // so an adaptive pool's load probe never mistakes a pure-reject
+        // storm for organic traffic. Grab and shortfall-refund run inside
+        // one read section, so a racing respec migrates either the
+        // untouched pool or the fully settled one — never a half-refunded
+        // state.
+        return bucket_consume(
+            tokens, allow_partial,
+            [&](std::uint64_t want) {
+              return state.pool->try_fetch_decrement_n(thread_hint, want);
+            },
+            [&](std::uint64_t refund) {
+              state.pool->refund_n(thread_hint, refund);
+            });
+      });
   if (got == 0) rejects_.add(thread_hint, 1);
   return got;
 }
@@ -58,27 +70,71 @@ std::uint64_t NetTokenBucket::consume(std::size_t thread_hint,
 void NetTokenBucket::refill(std::size_t thread_hint, std::uint64_t tokens) {
   // The claimed values are discarded: a pool token has no identity, only
   // the net count matters. Under overload the shrink-batch action divides
-  // the chunk size (floor 1): the same token count lands in the pool, in
-  // smaller exclusive batch holds.
-  std::size_t chunk = cfg_.refill_chunk;
-  if (overload_ != nullptr) {
-    chunk = std::max<std::size_t>(1, chunk / overload_->actions().batch_divisor);
-  }
-  std::int64_t scratch[kRefillChunkCap];
+  // the chunk size (shared divided_chunk rule, floor 1): the same token
+  // count lands in the pool, in smaller exclusive batch holds.
+  const std::size_t divisor =
+      overload_ != nullptr ? overload_->actions().batch_divisor : 1;
   while (tokens > 0) {
-    const auto k =
-        static_cast<std::size_t>(std::min<std::uint64_t>(tokens, chunk));
-    pool_->fetch_increment_batch(thread_hint, k, scratch);
-    tokens -= k;
+    const std::uint64_t left = tokens;
+    const std::uint64_t pushed =
+        engine_.read(thread_hint, [&](PoolState& state) -> std::uint64_t {
+          const std::size_t chunk = divided_chunk(state.refill_chunk, divisor);
+          std::int64_t scratch[kMaxRefillChunk];
+          const auto k =
+              static_cast<std::size_t>(std::min<std::uint64_t>(left, chunk));
+          state.pool->fetch_increment_batch(thread_hint, k, scratch);
+          return k;
+        });
+    tokens -= pushed;
   }
 }
 
-void NetTokenBucket::attach_overload(const OverloadManager* manager) noexcept {
-  overload_ = manager;
+void NetTokenBucket::refund(std::size_t thread_hint, std::uint64_t tokens) {
+  if (tokens == 0) return;
+  engine_.read(thread_hint, [&](PoolState& state) {
+    state.pool->refund_n(thread_hint, tokens);
+    return 0;
+  });
+}
+
+std::uint64_t NetTokenBucket::respec(std::size_t thread_hint, const Respec& r) {
+  CNET_REQUIRE(respec_safe(r.refill_chunk),
+               "staged refill_chunk must be in 1..256");
+  auto next = make_state(make_counter(r.spec, r.net), r.refill_chunk);
+  // Wire the staged pool to the attached manager *before* publish: the very
+  // first refill routed to it must already see the shrunken chunk /
+  // forced-eliminate posture, with no unattached window.
+  attach_chain(next->pool.get(), overload_);
+  return engine_.commit(
+      std::move(next), [&](PoolState& old_state, PoolState& new_state) {
+        // Post-quiescence: no consume/refill/refund can touch the old pool
+        // again, so its remaining count is exactly what the drain reclaims.
+        // Tokens move in bounded chunks and are re-injected through
+        // refund_n — migration is a give-back, not organic refill load, so
+        // an adaptive replacement pool's switch probe ignores it.
+        std::uint64_t moved = 0;
+        constexpr std::uint64_t kChunk = 256;
+        for (std::uint64_t got; (got = old_state.pool->try_fetch_decrement_n(
+                                     thread_hint, kChunk)) != 0;) {
+          moved += got;
+        }
+        new_state.pool->refund_n(thread_hint, moved);
+        // Roll the retired pool's (now final) telemetry into the cumulative
+        // totals so windowed monitors never observe a regressing count.
+        retired_stalls_.fetch_add(old_state.pool->stall_count(),
+                                  std::memory_order_relaxed);
+        retired_traversals_.fetch_add(old_state.pool->traversal_count(),
+                                      std::memory_order_relaxed);
+        retired_batch_passes_.fetch_add(old_state.pool->batch_pass_count(),
+                                        std::memory_order_relaxed);
+      });
+}
+
+void NetTokenBucket::attach_chain(rt::Counter* layer,
+                                  const OverloadManager* manager) noexcept {
   // Walk the pool's decorator chain and attach every overload-aware layer
   // (ElimCounter widens its pairing window, AdaptiveCounter accepts the
   // forced swap). ForwardingCounter is the only chain link in the library.
-  rt::Counter* layer = pool_.get();
   while (layer != nullptr) {
     if (auto* aware = dynamic_cast<OverloadAware*>(layer)) {
       aware->attach_overload(manager);
@@ -86,6 +142,14 @@ void NetTokenBucket::attach_overload(const OverloadManager* manager) noexcept {
     auto* fwd = dynamic_cast<rt::ForwardingCounter*>(layer);
     layer = fwd != nullptr ? &fwd->inner() : nullptr;
   }
+}
+
+void NetTokenBucket::attach_overload(const OverloadManager* manager) noexcept {
+  // Not synchronized with a concurrent respec(): attach before opening the
+  // bucket to reconfiguration traffic (respec snapshots overload_ when it
+  // wires the staged pool).
+  overload_ = manager;
+  attach_chain(engine_.current().pool.get(), manager);
 }
 
 }  // namespace cnet::svc

@@ -12,24 +12,44 @@
 // exit wire is drained), so at every moment the number of tokens handed
 // out by consume() is at most the number pushed in by refill(), and a
 // failed consume means the pool was observably empty.
+//
+// The pool configuration is hot-reconfigurable (svc::ReconfigEngine): a
+// respec() stages a whole replacement — new backend spec, new network
+// shape, new refill chunk — and commits it mid-traffic with the remaining
+// pool count migrated exactly into the new backend. This is what finally
+// lets the overload manager's batch_divisor reach a backend's own batch
+// size instead of stopping at per-call chunk arithmetic: a re-spec under
+// tier >= 1 bakes the divided chunk into the published configuration.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 
 #include "cnet/runtime/counter.hpp"
+#include "cnet/svc/backend.hpp"
+#include "cnet/svc/reconfig.hpp"
 #include "cnet/util/stall_slots.hpp"
 
 namespace cnet::svc {
 
 class OverloadManager;
 
-class NetTokenBucket {
+class NetTokenBucket : public Reconfigurable {
  public:
   struct Config {
     std::uint64_t initial_tokens = 0;
     // Tokens pushed per backend batch call during refill (1..256).
+    std::size_t refill_chunk = 64;
+  };
+
+  // A staged pool replacement: the backend to build, its network shape,
+  // and the refill chunking the new configuration adopts. Validated by the
+  // pure respec_safe rule before anything is constructed.
+  struct Respec {
+    BackendSpec spec{BackendKind::kBatchedNetwork, false};
+    BackendConfig net;
     std::size_t refill_chunk = 64;
   };
 
@@ -62,38 +82,88 @@ class NetTokenBucket {
   // all-or-nothing shortfall un-consume above, or a QuotaHierarchy release
   // — are never charged to an adaptive backend's load probe as organic
   // refill traffic.
-  void refund(std::size_t thread_hint, std::uint64_t tokens) {
-    pool_->refund_n(thread_hint, tokens);
+  void refund(std::size_t thread_hint, std::uint64_t tokens);
+
+  // Applies a staged pool replacement mid-traffic (ReconfigEngine commit):
+  // the new backend is built and wired to any attached overload manager,
+  // published, and — after reader quiescence — the old pool's remaining
+  // tokens are drained and re-injected into it exactly. Consumers racing
+  // the commit see tokens in one pool or the other, never both; a consume
+  // against the new pool during the drain window can transiently
+  // under-admit, never over-admit. Concurrent respecs serialize; consume/
+  // refill/refund never block. Returns the new config version. Requires
+  // respec_safe(r.refill_chunk).
+  std::uint64_t respec(std::size_t thread_hint, const Respec& r);
+
+  // Version stamp: bumped once per committed respec (starts at 1).
+  std::uint64_t config_version() const noexcept override {
+    return engine_.config_version();
+  }
+  // The refill chunk of the currently published configuration.
+  std::size_t refill_chunk() const noexcept {
+    return engine_.current().refill_chunk;
   }
 
   // Puts the bucket under an overload manager: refills shrink their chunk
   // size by the tier's batch divisor (count-conserving — the same tokens in
   // smaller exclusive holds), and every OverloadAware layer in the pool's
   // decorator chain (elimination front-end, adaptive backend) is attached
-  // too. The manager never changes *whether* tokens are admitted here —
-  // consume() stays exact; degrading to partial grants is the caller's
+  // too — including the chains of pools a later respec() installs. The
+  // manager never changes *whether* tokens are admitted here — consume()
+  // stays exact; degrading to partial grants is the caller's
   // (AdmissionController's / QuotaHierarchy's) decision, because only the
   // caller can record the partial charge for a later exact refund. The
   // manager must outlive the bucket; nullptr detaches.
   void attach_overload(const OverloadManager* manager) noexcept;
   const OverloadManager* overload() const noexcept { return overload_; }
 
-  // Contention events observed by the pool backend (CAS retries / lock
-  // waits); the numerator of the stall-rate overload monitor.
-  std::uint64_t stall_count() const { return pool_->stall_count(); }
+  // Contention events observed by the pool backends (CAS retries / lock
+  // waits), cumulative across respecs — retired pools' totals roll up so
+  // windowed monitors never see the count regress; the numerator of the
+  // stall-rate overload monitor.
+  std::uint64_t stall_count() const {
+    return retired_stalls_.load(std::memory_order_relaxed) +
+           engine_.current().pool->stall_count();
+  }
+  std::uint64_t traversal_count() const {
+    return retired_traversals_.load(std::memory_order_relaxed) +
+           engine_.current().pool->traversal_count();
+  }
+  std::uint64_t batch_pass_count() const {
+    return retired_batch_passes_.load(std::memory_order_relaxed) +
+           engine_.current().pool->batch_pass_count();
+  }
   // consume() calls with tokens > 0 / those that returned 0 ("observably
   // empty pool"). Their windowed ratio is the reject-ratio overload signal:
   // rejections per attempt, saturation at 1.0.
   std::uint64_t consume_attempts() const noexcept { return attempts_.total(); }
   std::uint64_t consume_rejects() const noexcept { return rejects_.total(); }
-  std::string name() const { return "bucket·" + pool_->name(); }
-  rt::Counter& pool() noexcept { return *pool_; }
-  const rt::Counter& pool() const noexcept { return *pool_; }
+  std::string name() const { return "bucket·" + engine_.current().pool->name(); }
+  // The currently published pool. With live respecs the reference can go
+  // stale (it stays valid — retired pools live as long as the bucket — but
+  // no longer receives traffic); prefer the telemetry accessors above.
+  rt::Counter& pool() noexcept { return *engine_.current().pool; }
+  const rt::Counter& pool() const noexcept { return *engine_.current().pool; }
 
  private:
-  std::unique_ptr<rt::Counter> pool_;
-  Config cfg_;
+  // The unit the engine swaps: the pool and the chunking that feeds it are
+  // one configuration — a respec replaces both atomically, so no refill
+  // ever pairs an old chunk with a new backend or vice versa.
+  struct PoolState {
+    std::unique_ptr<rt::Counter> pool;
+    std::size_t refill_chunk = 64;
+  };
+
+  static std::unique_ptr<PoolState> make_state(std::unique_ptr<rt::Counter> pool,
+                                               std::size_t refill_chunk);
+  static void attach_chain(rt::Counter* layer,
+                           const OverloadManager* manager) noexcept;
+
+  ReconfigEngine<PoolState> engine_;
   const OverloadManager* overload_ = nullptr;
+  std::atomic<std::uint64_t> retired_stalls_{0};
+  std::atomic<std::uint64_t> retired_traversals_{0};
+  std::atomic<std::uint64_t> retired_batch_passes_{0};
   util::StallSlots attempts_;
   util::StallSlots rejects_;
 };

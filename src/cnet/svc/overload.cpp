@@ -17,6 +17,13 @@ WindowedRateMonitor::WindowedRateMonitor(std::string name, TotalFn ops_total,
       saturation_rate_(saturation_rate) {
   CNET_REQUIRE(ops_total_ && events_total_, "both total callables required");
   CNET_REQUIRE(saturation_rate_ > 0.0, "saturation rate must be positive");
+  // Prime the baselines at the totals as of attachment: the first sampled
+  // window starts *now*, not at the counters' birth. Without this, a
+  // monitor attached to a pre-warmed bucket read the entire lifetime
+  // history as one instantaneous window and could spuriously escalate on
+  // the very first evaluate().
+  last_ops_ = ops_total_();
+  last_events_ = events_total_();
 }
 
 double WindowedRateMonitor::sample_pressure() {
@@ -34,9 +41,7 @@ double WindowedRateMonitor::sample_pressure() {
 }
 
 GaugeMonitor::GaugeMonitor(std::string name, std::uint64_t capacity)
-    : name_(std::move(name)), capacity_(capacity) {
-  CNET_REQUIRE(capacity_ > 0, "gauge capacity must be positive");
-}
+    : name_(std::move(name)), capacity_(capacity) {}
 
 double GaugeMonitor::sample_pressure() {
   return occupancy_pressure(value_.load(std::memory_order_relaxed), capacity_);

@@ -88,14 +88,19 @@ class WindowedRateMonitor final : public LoadMonitor {
   TotalFn ops_total_;
   TotalFn events_total_;
   double saturation_rate_;
-  // Guarded by the manager's sampler claim.
+  // Guarded by the manager's sampler claim. Primed at construction to the
+  // totals as of attachment, so the first window never spans the counters'
+  // whole pre-attachment lifetime.
   std::uint64_t last_ops_ = 0;
   std::uint64_t last_events_ = 0;
 };
 
 // Level signal: an externally maintained gauge (admission queue depth,
 // in-flight requests) over its capacity (policy occupancy_pressure). set()
-// is a relaxed store, callable from any thread at any time.
+// is a relaxed store, callable from any thread at any time. Capacity 0 is
+// legal and means "no budget": any nonzero value reads as full saturation
+// — the state a live reweigh can produce when a tenant's share is divided
+// away while holders are still outstanding.
 class GaugeMonitor final : public LoadMonitor {
  public:
   GaugeMonitor(std::string name, std::uint64_t capacity);

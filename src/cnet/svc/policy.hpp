@@ -328,11 +328,15 @@ inline double window_pressure(const LoadWindow& window,
 }
 
 // A level signal: current occupancy over capacity (admission queue depth,
-// per-tenant outstanding borrow against its limit). Zero capacity reads as
-// zero pressure (an unbounded resource cannot saturate).
+// per-tenant outstanding borrow against its limit). Capacity 0 means "no
+// budget at all": any occupancy against it is full saturation (1.0), and
+// an empty gauge is idle (0.0). The earlier reading of capacity-0 as
+// always-zero pressure silently blinded the tier ladder to a resource
+// whose budget had been reconfigured away while holders were still
+// outstanding — exactly the state a reweigh can now produce live.
 constexpr double occupancy_pressure(std::uint64_t value,
                                     std::uint64_t capacity) noexcept {
-  if (capacity == 0) return 0.0;
+  if (capacity == 0) return value > 0 ? 1.0 : 0.0;
   return clamp_pressure(static_cast<double>(value) /
                         static_cast<double>(capacity));
 }
@@ -381,6 +385,76 @@ inline std::vector<std::size_t> shed_set(
   }
   std::sort(shed.begin(), shed.end());
   return shed;
+}
+
+// ---------------------------------------------------------------------------
+// Hot-reconfiguration decision rules (svc::ReconfigEngine consumers and the
+// simulator's sim::simulate_reconfig mirror share these; see svc/reconfig.hpp
+// for the staged-commit protocol itself).
+
+// Batch/refill chunking under a divisor — the shrink-batch action's
+// arithmetic, and the chunk a staged bucket re-spec adopts when it folds the
+// current overload tier into its configuration. Floor 1: a divided chunk
+// still makes progress.
+constexpr std::size_t divided_chunk(std::size_t chunk,
+                                    std::size_t divisor) noexcept {
+  if (divisor <= 1) return chunk < 1 ? 1 : chunk;
+  const std::size_t divided = chunk / divisor;
+  return divided < 1 ? 1 : divided;
+}
+
+// Refill/batch chunks live in 1..256 everywhere (NetTokenBucket's refill
+// scratch block is sized to this); a staged re-spec outside the range is
+// rejected before anything is built.
+inline constexpr std::size_t kMaxRefillChunk = 256;
+
+// When a staged bucket re-spec is safe to commit: the chunk must be a legal
+// refill chunk. (The backend spec itself needs no rule — every pool kind
+// migrates by drain/re-inject, conserving the count exactly.)
+constexpr bool respec_safe(std::size_t refill_chunk) noexcept {
+  return refill_chunk >= 1 && refill_chunk <= kMaxRefillChunk;
+}
+
+// When a staged weight vector is safe to commit against a live hierarchy:
+// same tenant count (weights are positional — a resize would orphan
+// outstanding borrows), every weight positive (a zero weight is a shed, not
+// a share, and would make the tenant's limit permanently zero while its
+// borrows stay outstanding).
+inline bool reweigh_safe(std::size_t tenants,
+                         const std::vector<std::uint64_t>& weights) noexcept {
+  if (weights.size() != tenants || tenants == 0) return false;
+  for (const std::uint64_t w : weights) {
+    if (w == 0) return false;
+  }
+  return true;
+}
+
+// The whole-vector re-division of a borrow budget: every tenant's limit
+// recomputed from the *same* staged vector, so the sum-never-exceeds-budget
+// sizing rule holds for the published vector as a unit. This is why a
+// reweigh goes through the reconfig engine rather than storing per-tenant
+// atomics one at a time: a reader mixing limits from two generations could
+// see a vector whose limit sum exceeds the budget, and two tenants could
+// then reserve more parent headroom than the pool was sized for.
+inline std::vector<std::uint64_t> reweigh_limits(
+    std::uint64_t budget, const std::vector<std::uint64_t>& weights) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t w : weights) total += w;
+  std::vector<std::uint64_t> limits(weights.size());
+  for (std::size_t t = 0; t < weights.size(); ++t) {
+    limits[t] = weighted_borrow_limit(budget, weights[t], total);
+  }
+  return limits;
+}
+
+// How a re-divided limit meets outstanding borrows: tokens already on loan
+// above the new limit are never clawed back — the grant holders release
+// exactly what they hold, in their own time. The overage merely blocks new
+// reservations (borrow_allowance yields 0 while outstanding >= limit) until
+// releases drain it. Pure bookkeeping for monitors and the simulator.
+constexpr std::uint64_t borrow_overage(std::uint64_t outstanding,
+                                       std::uint64_t limit) noexcept {
+  return outstanding > limit ? outstanding - limit : 0;
 }
 
 }  // namespace cnet::svc

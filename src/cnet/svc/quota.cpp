@@ -8,49 +8,71 @@
 
 namespace cnet::svc {
 
+std::unique_ptr<QuotaHierarchy::WeightState> QuotaHierarchy::make_weights(
+    std::uint64_t borrow_budget, std::size_t tenants,
+    const std::vector<std::uint64_t>& weights) {
+  CNET_REQUIRE(reweigh_safe(tenants, weights),
+               "weight vector must cover every tenant with positive weights");
+  auto state = std::make_unique<WeightState>();
+  state->weights = weights;
+  state->limits = reweigh_limits(borrow_budget, weights);
+  return state;
+}
+
+namespace {
+std::vector<std::uint64_t> initial_weights(
+    const std::vector<QuotaHierarchy::TenantConfig>& tenants) {
+  std::vector<std::uint64_t> weights;
+  weights.reserve(tenants.size());
+  for (const auto& t : tenants) weights.push_back(t.weight);
+  return weights;
+}
+}  // namespace
+
 QuotaHierarchy::QuotaHierarchy(const Config& cfg,
                                std::vector<TenantConfig> tenants)
     : parent_(make_counter(cfg.parent, cfg.net),
               NetTokenBucket::Config{cfg.parent_initial_tokens,
                                      cfg.bucket.refill_chunk}),
-      tenants_(tenants.size()) {
+      tenants_(tenants.size()),
+      weights_(make_weights(cfg.borrow_budget, tenants.size(),
+                            initial_weights(tenants))),
+      borrow_budget_(cfg.borrow_budget) {
   CNET_REQUIRE(!tenants.empty(), "at least one tenant");
-  std::uint64_t total_weight = 0;
-  for (const TenantConfig& t : tenants) {
-    CNET_REQUIRE(t.weight > 0, "tenant weight must be positive");
-    total_weight += t.weight;
-  }
   for (std::size_t i = 0; i < tenants.size(); ++i) {
-    TenantState& state = tenants_[i];
-    state.bucket = std::make_unique<NetTokenBucket>(
+    tenants_[i].bucket = std::make_unique<NetTokenBucket>(
         make_counter(cfg.child, cfg.net),
         NetTokenBucket::Config{tenants[i].initial_tokens,
                                cfg.bucket.refill_chunk});
-    state.weight = tenants[i].weight;
-    state.limit = weighted_borrow_limit(cfg.borrow_budget, tenants[i].weight,
-                                        total_weight);
   }
 }
 
-std::uint64_t QuotaHierarchy::reserve_borrow(TenantState& tenant,
+std::uint64_t QuotaHierarchy::reserve_borrow(std::size_t thread_hint,
+                                             std::size_t tenant,
+                                             TenantState& state,
                                              std::uint64_t want) {
-  std::uint64_t cur = tenant.borrowed.load(std::memory_order_relaxed);
-  for (;;) {
-    // All-or-nothing, like the acquire plan that consumes it: a partial
-    // reservation is doomed to be returned, and committing it would hold
-    // cap headroom hostage for the whole refund window — long enough to
-    // falsely reject a sibling thread's genuinely in-cap borrow. (The
-    // simulator's quota model makes the same commit-only-if-full
-    // decision.)
-    if (borrow_allowance(want, cur, tenant.limit) < want) return 0;
-    // acq_rel: a winning reservation must observe the parent-pool refund
-    // that preceded the release which freed this headroom (release puts
-    // the tokens back *before* shrinking borrowed).
-    if (tenant.borrowed.compare_exchange_weak(cur, cur + want,
-                                              std::memory_order_acq_rel)) {
-      return want;
+  return weights_.read(thread_hint, [&](const WeightState& ws) -> std::uint64_t {
+    const std::uint64_t limit = ws.limits[tenant];
+    std::uint64_t cur = state.borrowed.load(std::memory_order_relaxed);
+    for (;;) {
+      // All-or-nothing, like the acquire plan that consumes it: a partial
+      // reservation is doomed to be returned, and committing it would hold
+      // cap headroom hostage for the whole refund window — long enough to
+      // falsely reject a sibling thread's genuinely in-cap borrow. (The
+      // simulator's quota model makes the same commit-only-if-full
+      // decision.) After a reweigh shrinks the limit below the outstanding
+      // borrow, borrow_allowance is 0 here until releases drain the
+      // overage — the new cap binds without any claw-back.
+      if (borrow_allowance(want, cur, limit) < want) return 0;
+      // acq_rel: a winning reservation must observe the parent-pool refund
+      // that preceded the release which freed this headroom (release puts
+      // the tokens back *before* shrinking borrowed).
+      if (state.borrowed.compare_exchange_weak(cur, cur + want,
+                                               std::memory_order_acq_rel)) {
+        return want;
+      }
     }
-  }
+  });
 }
 
 QuotaHierarchy::Grant QuotaHierarchy::acquire(std::size_t thread_hint,
@@ -76,7 +98,9 @@ QuotaHierarchy::Grant QuotaHierarchy::acquire(std::size_t thread_hint,
       [&](std::uint64_t n) {
         return state.bucket->consume(thread_hint, n, /*allow_partial=*/true);
       },
-      [&](std::uint64_t n) { return reserve_borrow(state, n); },
+      [&](std::uint64_t n) {
+        return reserve_borrow(thread_hint, tenant, state, n);
+      },
       [&](std::uint64_t n) {
         state.borrowed.fetch_sub(n, std::memory_order_release);
       },
@@ -104,10 +128,24 @@ void QuotaHierarchy::release(std::size_t thread_hint, const Grant& grant) {
   if (grant.from_parent > 0) {
     // Pool before headroom: once the borrowed tokens are observable in the
     // parent again, shrinking `borrowed` may let a waiting reservation win
-    // — and it will find what it reserved.
+    // — and it will find what it reserved. Reweigh-independent: the grant
+    // records what was borrowed under whatever limits then held, so this
+    // undo is exact under any current weight generation.
     parent_.refund(thread_hint, grant.from_parent);
     state.borrowed.fetch_sub(grant.from_parent, std::memory_order_release);
   }
+}
+
+std::uint64_t QuotaHierarchy::reweigh(
+    std::size_t thread_hint, const std::vector<std::uint64_t>& weights) {
+  (void)thread_hint;
+  auto next = make_weights(borrow_budget_, tenants_.size(), weights);
+  // No migration: outstanding borrows carry over untouched. The commit's
+  // quiescence wait is what guarantees no reservation CAS-loop straddles
+  // the generations — each loop ran wholly against old limits or runs
+  // wholly against new ones.
+  return weights_.commit(std::move(next),
+                         [](WeightState&, WeightState&) {});
 }
 
 void QuotaHierarchy::refill_tenant(std::size_t thread_hint,
@@ -144,12 +182,12 @@ std::uint64_t QuotaHierarchy::borrowed(std::size_t tenant) const {
 
 std::uint64_t QuotaHierarchy::borrow_limit(std::size_t tenant) const {
   CNET_REQUIRE(tenant < tenants_.size(), "tenant index out of range");
-  return tenants_[tenant].limit;
+  return weights_.current().limits[tenant];
 }
 
 std::uint64_t QuotaHierarchy::weight(std::size_t tenant) const {
   CNET_REQUIRE(tenant < tenants_.size(), "tenant index out of range");
-  return tenants_[tenant].weight;
+  return weights_.current().weights[tenant];
 }
 
 NetTokenBucket& QuotaHierarchy::child(std::size_t tenant) {

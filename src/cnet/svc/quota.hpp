@@ -29,10 +29,20 @@
 // its cap cannot make a cold tenant's in-cap borrow fail.
 //
 // The decision rules (weighted_borrow_limit, borrow_allowance,
-// quota_acquire/quota_settle) live in svc/policy.hpp and are shared with
-// the virtual-time simulator's quota model (sim::simulate_quota), so
-// tenant-isolation and parent-contention claims are reproducible
-// deterministically on any host.
+// quota_acquire/quota_settle, reweigh_limits) live in svc/policy.hpp and
+// are shared with the virtual-time simulator's quota model
+// (sim::simulate_quota), so tenant-isolation and parent-contention claims
+// are reproducible deterministically on any host.
+//
+// The weight vector is hot-reconfigurable: reweigh() stages a whole new
+// per-tenant limit vector (svc::ReconfigEngine) and publishes it as a
+// unit. Atomicity of the vector matters — mixed-generation per-tenant
+// limits could sum above the borrow budget and silently void the
+// parent-sizing isolation guarantee. In-flight grants are unaffected:
+// outstanding borrows above a shrunken limit are never clawed back
+// (borrow_overage names the quantity); borrow_allowance simply returns 0
+// until releases drain the overage, and release() stays an exact undo
+// throughout.
 #pragma once
 
 #include <atomic>
@@ -43,13 +53,14 @@
 
 #include "cnet/svc/backend.hpp"
 #include "cnet/svc/net_token_bucket.hpp"
+#include "cnet/svc/reconfig.hpp"
 #include "cnet/util/cacheline.hpp"
 
 namespace cnet::svc {
 
 class OverloadManager;
 
-class QuotaHierarchy {
+class QuotaHierarchy : public Reconfigurable {
  public:
   struct TenantConfig {
     std::uint64_t initial_tokens = 0;  // child bucket's starting pool
@@ -121,6 +132,23 @@ class QuotaHierarchy {
   void restore(std::size_t tenant);
   bool is_shed(std::size_t tenant) const;
 
+  // Re-divides the parent borrow budget among tenants under a new weight
+  // vector, mid-traffic (ReconfigEngine commit). The whole limit vector
+  // publishes as one unit after reader quiescence; acquires racing the
+  // commit reserve against the old limits or the new, never a mix. No
+  // migration step runs — borrows already out stay out (see borrow_overage
+  // in svc/policy.hpp): a tenant whose limit shrank below its outstanding
+  // borrow simply gets no new allowance until releases drain the overage,
+  // and every release() remains an exact undo of its grant. Requires
+  // reweigh_safe(num_tenants(), weights). Returns the new config version.
+  std::uint64_t reweigh(std::size_t thread_hint,
+                        const std::vector<std::uint64_t>& weights);
+
+  // Version stamp: bumped once per committed reweigh (starts at 1).
+  std::uint64_t config_version() const noexcept override {
+    return weights_.config_version();
+  }
+
   // Puts the hierarchy under an overload manager (usually via
   // OverloadManager::govern): acquires honor the degrade-partial action,
   // and the parent and child buckets (plus their aware pool layers) get
@@ -143,18 +171,32 @@ class QuotaHierarchy {
  private:
   struct alignas(util::kCacheLine) TenantState {
     std::unique_ptr<NetTokenBucket> bucket;
-    std::uint64_t weight = 1;
-    std::uint64_t limit = 0;
     std::atomic<std::uint64_t> borrowed{0};
     std::atomic<bool> shed{false};
   };
 
+  // The unit reweigh() swaps: weights and the limits derived from them are
+  // published together so limits[i] always reflects weights' own total.
+  struct WeightState {
+    std::vector<std::uint64_t> weights;
+    std::vector<std::uint64_t> limits;
+  };
+
+  static std::unique_ptr<WeightState> make_weights(
+      std::uint64_t borrow_budget, std::size_t tenants,
+      const std::vector<std::uint64_t>& weights);
+
   // Secures up to `want` borrow headroom for the tenant; the CAS loop over
-  // borrow_allowance keeps borrowed <= limit an always-true invariant.
-  std::uint64_t reserve_borrow(TenantState& tenant, std::uint64_t want);
+  // borrow_allowance keeps borrowed <= limit an always-true invariant. The
+  // limit is read inside one engine read section, so the whole loop runs
+  // against a single weight generation.
+  std::uint64_t reserve_borrow(std::size_t thread_hint, std::size_t tenant,
+                               TenantState& state, std::uint64_t want);
 
   NetTokenBucket parent_;
   std::vector<TenantState> tenants_;
+  ReconfigEngine<WeightState> weights_;
+  std::uint64_t borrow_budget_ = 0;
   const OverloadManager* overload_ = nullptr;
 };
 

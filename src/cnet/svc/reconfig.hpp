@@ -1,0 +1,150 @@
+// svc::ReconfigEngine — hot reconfiguration without draining, the
+// generalization of AdaptiveCounter's one-shot cold→hot swap into a
+// reusable staged-commit protocol (SDS-style watch/update semantics: a
+// version-stamped config is prepared off to the side and published to live
+// consumers with no drain, cf. envoy's secret-discovery updates).
+//
+// The protocol is the paper's quiescence argument (§2.2) run in reverse:
+// because a structure's outstanding token count is a well-defined function
+// of what entered it, a *quiescent* structure can be replaced and its
+// remaining count migrated exactly. The engine makes any config swappable
+// under that argument:
+//
+//   readers   enter a padded per-slot reader count, load the active-state
+//             pointer, run against it, and leave (RCU-style; two atomics
+//             on the hot path, no locks);
+//   stage     a full replacement state is built off to the side — new
+//             backend, new network width, new batch chunking, new weight
+//             vector — while traffic continues on the old one;
+//   commit    publishes the new pointer (seq_cst, pairing with the reader
+//             protocol), waits until every reader slot drains to zero —
+//             after which no op can touch the old state — then runs the
+//             caller's migration against the now-quiescent old state
+//             (e.g. drain its pool and re-inject the exact count into the
+//             new one) and bumps the config version.
+//
+// Commits serialize on a mutex (reconfiguration is a control-plane event;
+// readers never block). Retired states are kept alive for the engine's
+// lifetime: long-lived references handed out earlier (telemetry reads,
+// `pool()` accessors) stay valid, merely stale — the same lifetime rule
+// AdaptiveCounter always applied to its cold backend. The memory cost is
+// one retired state per commit, paid only by reconfiguring consumers.
+//
+// Consumers expose the stamp through the Reconfigurable protocol below;
+// validity rules for *what* may be staged (chunk bounds, weight vectors)
+// are pure functions in svc/policy.hpp (respec_safe / reweigh_safe),
+// shared with the virtual-time simulator's sim::simulate_reconfig mirror.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cnet/util/cacheline.hpp"
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::svc {
+
+// The version-stamp protocol: anything that can be re-specced mid-traffic
+// reports a monotone config version, bumped once per committed staged
+// config. Observers (benches, operators, the simulator's golden traces)
+// use the stamp to tell which configuration an observation belongs to.
+class Reconfigurable {
+ public:
+  virtual ~Reconfigurable() = default;
+  // Starts at 1; each committed reconfiguration increments it by one. A
+  // reader that sees the same version before and after an observation knows
+  // no commit landed in between.
+  virtual std::uint64_t config_version() const noexcept = 0;
+};
+
+template <class State>
+class ReconfigEngine final : public Reconfigurable {
+ public:
+  explicit ReconfigEngine(std::unique_ptr<State> initial)
+      : slots_(kReaderSlots),
+        current_(std::move(initial)),
+        active_(current_.get()) {
+    CNET_REQUIRE(current_ != nullptr, "null initial state");
+  }
+
+  ReconfigEngine(const ReconfigEngine&) = delete;
+  ReconfigEngine& operator=(const ReconfigEngine&) = delete;
+
+  // Runs fn against the currently published state inside a reader section.
+  // seq_cst on the enter RMW and the pointer load pairs with commit()'s
+  // seq_cst publish + slot scan: in the single total order, either this
+  // enter precedes the scan (the committer waits for us) or the publish
+  // precedes our load (we already run on the new state). Either way no
+  // reader touches the old state after the committer starts migrating it.
+  template <class Fn>
+  auto read(std::size_t thread_hint, Fn&& fn) {
+    auto& slot = slots_[thread_hint % kReaderSlots].value;
+    slot.fetch_add(1, std::memory_order_seq_cst);
+    State* active = active_.load(std::memory_order_seq_cst);
+    struct Exit {
+      std::atomic<std::uint64_t>& slot;
+      ~Exit() { slot.fetch_sub(1, std::memory_order_release); }
+    } exit{slot};
+    return fn(*active);
+  }
+
+  // The currently published state, outside any reader section. Safe to
+  // dereference at any time (retired states stay alive), but a concurrent
+  // commit can make the snapshot stale — use read() when the op must land
+  // entirely on one configuration.
+  State& current() noexcept { return *active_.load(std::memory_order_acquire); }
+  const State& current() const noexcept {
+    return *active_.load(std::memory_order_acquire);
+  }
+
+  std::uint64_t config_version() const noexcept override {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  // Applies a staged state: publish, wait for reader quiescence, then run
+  // `migrate(old_state, new_state)` against the quiescent old state (move
+  // pool tokens, roll up telemetry — whatever the consumer's conservation
+  // argument needs), retire the old state, and bump the version. Returns
+  // the new version. Concurrent commits serialize; readers never wait.
+  template <class Migrate>
+  std::uint64_t commit(std::unique_ptr<State> next, Migrate&& migrate) {
+    CNET_REQUIRE(next != nullptr, "null staged state");
+    const std::lock_guard<std::mutex> lock(commit_mutex_);
+    State* const fresh = next.get();
+    State* const old = current_.get();
+    active_.store(fresh, std::memory_order_seq_cst);
+    for (auto& slot : slots_) {
+      while (slot.value.load(std::memory_order_seq_cst) != 0) {
+        std::this_thread::yield();
+      }
+    }
+    migrate(*old, *fresh);
+    retired_.push_back(std::move(current_));
+    current_ = std::move(next);
+    return version_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+  // Retired states, oldest first, for telemetry rollups. Only grows; safe
+  // to call concurrently with readers but serializes against commits.
+  std::size_t num_retired() const {
+    const std::lock_guard<std::mutex> lock(commit_mutex_);
+    return retired_.size();
+  }
+
+ private:
+  static constexpr std::size_t kReaderSlots = 64;
+
+  std::vector<util::Padded<std::atomic<std::uint64_t>>> slots_;
+  mutable std::mutex commit_mutex_;
+  std::unique_ptr<State> current_;           // guarded by commit_mutex_
+  std::vector<std::unique_ptr<State>> retired_;  // guarded by commit_mutex_
+  std::atomic<State*> active_;
+  std::atomic<std::uint64_t> version_{1};
+};
+
+}  // namespace cnet::svc

@@ -303,6 +303,96 @@ TEST(OverloadSim, AdaptiveParentTakesTheForcedSwap) {
   EXPECT_TRUE(r.recovered);
 }
 
+// The bench's exact Table F workload: reconfig_sim_reference_config plus
+// the shared pairing rule, so the CI-gated checks and these goldens
+// cannot drift apart.
+ReconfigSimConfig reconfig_config(const svc::BackendSpec& spec_from) {
+  ReconfigSimConfig cfg = reconfig_sim_reference_config();
+  cfg.spec_to = reconfig_respec_target(spec_from);
+  return cfg;
+}
+
+TEST(ReconfigSim, GoldenSeedDeterminism) {
+  for (const auto& spec : multicore_sweep_specs()) {
+    const auto a = simulate_reconfig(spec, reconfig_config(spec));
+    const auto b = simulate_reconfig(spec, reconfig_config(spec));
+    SCOPED_TRACE(svc::backend_spec_name(spec));
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.consume_ops, b.consume_ops);
+    EXPECT_EQ(a.consumed, b.consumed);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.refilled, b.refilled);
+    EXPECT_EQ(a.respec_staged_time, b.respec_staged_time);
+    EXPECT_EQ(a.respec_commit_time, b.respec_commit_time);
+    EXPECT_EQ(a.migrated_tokens, b.migrated_tokens);
+    EXPECT_EQ(a.old_stalls, b.old_stalls);
+    EXPECT_EQ(a.new_stalls, b.new_stalls);
+    EXPECT_EQ(a.final_pool, b.final_pool);
+  }
+}
+
+TEST(ReconfigSim, ConservesAcrossTheCommitForEverySpec) {
+  for (const auto& spec : multicore_sweep_specs()) {
+    const auto r = simulate_reconfig(spec, reconfig_config(spec));
+    SCOPED_TRACE(svc::backend_spec_name(spec));
+    EXPECT_TRUE(r.conserved);
+    EXPECT_EQ(r.consumed + static_cast<std::uint64_t>(r.final_pool),
+              r.refilled + r.initial_tokens);
+    // The reference workload always has old ops in flight at t = 300, so
+    // the commit is strictly after the stage, and the migration moved the
+    // old pool's exact (nonzero, for this workload) remainder.
+    EXPECT_EQ(r.config_version, 2u);
+    EXPECT_DOUBLE_EQ(r.respec_staged_time, 300.0);
+    EXPECT_GT(r.respec_commit_time, r.respec_staged_time);
+    EXPECT_GT(r.migrated_tokens, 0u);
+    // divided_chunk(64, 4) under the shared rule.
+    EXPECT_EQ(r.staged_chunk, 16u);
+    EXPECT_EQ(r.consume_ops, 8u * 2048u);
+  }
+}
+
+TEST(ReconfigSim, GoldenCommitInstants) {
+  // The quiescence instant is a pure function of (spec, config, seed): the
+  // commit fires exactly when the last op in flight on the old stack at
+  // t = 300 completes. Pinned to the bit for the two bookend directions —
+  // any drift in the engine, the drain accounting, or the staged publish
+  // shows up here as an exact-value diff.
+  const auto up = simulate_reconfig(
+      {svc::BackendKind::kCentralAtomic, false},
+      reconfig_config({svc::BackendKind::kCentralAtomic, false}));
+  EXPECT_DOUBLE_EQ(up.respec_commit_time, 307.26134860564667);
+  EXPECT_EQ(up.migrated_tokens, 303u);
+  EXPECT_EQ(up.consumed, 15905u);
+  EXPECT_EQ(up.rejected, 479u);
+  EXPECT_DOUBLE_EQ(up.makespan, 17943.989688889873);
+
+  const auto down = simulate_reconfig(
+      {svc::BackendKind::kBatchedNetwork, false},
+      reconfig_config({svc::BackendKind::kBatchedNetwork, false}));
+  EXPECT_DOUBLE_EQ(down.respec_commit_time, 307.69616677734183);
+  EXPECT_EQ(down.migrated_tokens, 215u);
+  EXPECT_EQ(down.consumed, 15872u);
+  EXPECT_EQ(down.rejected, 512u);
+  EXPECT_DOUBLE_EQ(down.makespan, 50688.496555901685);
+}
+
+TEST(ReconfigSim, IdleStageCommitsAtTheStageInstant) {
+  // Stage the respec after the workload has fully drained: there are no
+  // in-flight old-stack readers left, so quiescence holds trivially and
+  // the commit fires at the very same instant the stage publishes — the
+  // engine's "uncontended respec is instantaneous" degenerate case. The
+  // whole leftover pool migrates in the one transfer.
+  const svc::BackendSpec spec{svc::BackendKind::kCentralAtomic, false};
+  ReconfigSimConfig cfg = reconfig_config(spec);
+  cfg.respec_at = 1e9;
+  const auto r = simulate_reconfig(spec, cfg);
+  EXPECT_EQ(r.config_version, 2u);
+  EXPECT_DOUBLE_EQ(r.respec_staged_time, 1e9);
+  EXPECT_DOUBLE_EQ(r.respec_commit_time, 1e9);
+  EXPECT_EQ(r.migrated_tokens, static_cast<std::uint64_t>(r.final_pool));
+  EXPECT_TRUE(r.conserved);
+}
+
 TEST(MulticoreSim, RejectsWhenThePoolRunsDry) {
   // No initial tokens and a huge refill cadence: every consume before the
   // first refill must be rejected, never over-admitted.

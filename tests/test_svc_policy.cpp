@@ -307,13 +307,71 @@ TEST(OverloadPolicy, PressureRulesClampAndTreatEmptiesAsIdle) {
   EXPECT_EQ(window_pressure({.ops = 10, .events = 5}, 0.0), 0.0);
   EXPECT_DOUBLE_EQ(window_pressure({.ops = 10, .events = 5}, 2.0), 0.25);
   EXPECT_EQ(window_pressure({.ops = 4, .events = 1000}, 1.0), 1.0);  // clamp
-  EXPECT_EQ(occupancy_pressure(5, 0), 0.0);  // unbounded cannot saturate
+  // Capacity 0 means "no budget at all": any occupancy is full pressure,
+  // zero occupancy is idle. (Regression: this used to read 0.0 — a
+  // zero-budget gauge could never raise pressure, so a reweighed-to-zero
+  // tenant's backlog was invisible to the tier ladder.)
+  EXPECT_EQ(occupancy_pressure(5, 0), 1.0);
+  EXPECT_EQ(occupancy_pressure(0, 0), 0.0);
   EXPECT_DOUBLE_EQ(occupancy_pressure(3, 4), 0.75);
   EXPECT_EQ(occupancy_pressure(9, 4), 1.0);
   // Max-combine: the worst signal wins; out-of-range readings clamp.
   EXPECT_DOUBLE_EQ(combine_pressure({0.2, 0.9, 0.1}), 0.9);
   EXPECT_EQ(combine_pressure({-3.0, 7.0}), 1.0);
   EXPECT_EQ(combine_pressure({}), 0.0);
+}
+
+TEST(ReconfigPolicy, DividedChunkFloorsAtOneAndIgnoresTrivialDivisors) {
+  EXPECT_EQ(divided_chunk(64, 1), 64u);
+  EXPECT_EQ(divided_chunk(64, 0), 64u);  // no divisor: unchanged
+  EXPECT_EQ(divided_chunk(64, 4), 16u);
+  EXPECT_EQ(divided_chunk(3, 4), 1u);   // floor: progress is never zero
+  EXPECT_EQ(divided_chunk(0, 1), 1u);   // degenerate chunk also floors
+  EXPECT_EQ(divided_chunk(256, 256), 1u);
+}
+
+TEST(ReconfigPolicy, RespecSafeBoundsTheChunk) {
+  EXPECT_FALSE(respec_safe(0));
+  EXPECT_TRUE(respec_safe(1));
+  EXPECT_TRUE(respec_safe(kMaxRefillChunk));
+  EXPECT_FALSE(respec_safe(kMaxRefillChunk + 1));
+}
+
+TEST(ReconfigPolicy, ReweighSafeRequiresAFullPositiveVector) {
+  EXPECT_TRUE(reweigh_safe(3, {1, 2, 3}));
+  EXPECT_FALSE(reweigh_safe(3, {1, 2}));      // positional: size must match
+  EXPECT_FALSE(reweigh_safe(3, {1, 2, 3, 4}));
+  EXPECT_FALSE(reweigh_safe(3, {1, 0, 3}));   // zero weight is a shed
+  EXPECT_FALSE(reweigh_safe(0, {}));          // no tenants, nothing to weigh
+}
+
+TEST(ReconfigPolicy, ReweighLimitsRedividesAgainstTheVectorsOwnTotal) {
+  EXPECT_EQ(reweigh_limits(100, {1, 1}), (std::vector<std::uint64_t>{50, 50}));
+  EXPECT_EQ(reweigh_limits(100, {3, 1}), (std::vector<std::uint64_t>{75, 25}));
+  // Per-tenant limits agree with the scalar rule on the same total...
+  const std::vector<std::uint64_t> weights{4, 2, 1, 1};
+  const auto limits = reweigh_limits(120, weights);
+  ASSERT_EQ(limits.size(), weights.size());
+  for (std::size_t t = 0; t < limits.size(); ++t) {
+    EXPECT_EQ(limits[t], weighted_borrow_limit(120, weights[t], 8))
+        << "tenant " << t;
+  }
+  // ...and the published vector's sum never exceeds the budget — the
+  // whole-vector atomicity invariant a mixed-generation read would break.
+  std::uint64_t sum = 0;
+  for (const std::uint64_t l : limits) sum += l;
+  EXPECT_LE(sum, 120u);
+}
+
+TEST(ReconfigPolicy, BorrowOverageIsNeverClawedBack) {
+  EXPECT_EQ(borrow_overage(40, 10), 30u);  // shrunken limit: pure overage
+  EXPECT_EQ(borrow_overage(10, 10), 0u);
+  EXPECT_EQ(borrow_overage(5, 10), 0u);
+  // The overage only ever drains through releases: allowance is zero while
+  // any overage exists, so no new borrow can extend it.
+  EXPECT_EQ(borrow_allowance(1, 40, 10), 0u);
+  EXPECT_EQ(borrow_allowance(1, 10, 10), 0u);
+  EXPECT_EQ(borrow_allowance(1, 9, 10), 1u);
 }
 
 TEST(OverloadPolicy, ShedSetPicksLowWeightsAndNeverShedsEveryone) {
