@@ -246,18 +246,18 @@ LiveCellResult run_live_cell(const svc::BackendSpec& spec) {
   bool conserved = true;
   for (std::size_t i = 0; i < 4; ++i) {
     std::uint64_t drained = 0;
-    while (hierarchy.child(i).consume(0, 1, /*allow_partial=*/true) == 1) {
+    while (hierarchy.child(i).consume(0, 1, svc::kPartialOk) == 1) {
       ++drained;
     }
     conserved = conserved && drained == kChildInitial &&
                 hierarchy.borrowed(i) == 0;
   }
   std::uint64_t parent_drained = 0;
-  while (hierarchy.parent().consume(0, 1, /*allow_partial=*/true) == 1) {
+  while (hierarchy.parent().consume(0, 1, svc::kPartialOk) == 1) {
     ++parent_drained;
   }
   std::uint64_t admit_drained = 0;
-  while (admission.bucket().consume(0, 1, /*allow_partial=*/true) == 1) {
+  while (admission.bucket().consume(0, 1, svc::kPartialOk) == 1) {
     ++admit_drained;
   }
   res.conserved = conserved && parent_drained == kParentInitial &&

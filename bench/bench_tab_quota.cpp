@@ -158,14 +158,14 @@ QuotaRunResult run_quota(const svc::BackendSpec& parent_spec,
   bool conserved = true;
   for (std::size_t i = 0; i < tenants; ++i) {
     std::uint64_t drained = 0;
-    while (hierarchy.child(i).consume(0, 1, /*allow_partial=*/true) == 1) {
+    while (hierarchy.child(i).consume(0, 1, svc::kPartialOk) == 1) {
       ++drained;
     }
     conserved = conserved && drained == kChildInitial &&
                 hierarchy.borrowed(i) == 0;
   }
   std::uint64_t parent_drained = 0;
-  while (hierarchy.parent().consume(0, 1, /*allow_partial=*/true) == 1) {
+  while (hierarchy.parent().consume(0, 1, svc::kPartialOk) == 1) {
     ++parent_drained;
   }
   result.conserved =

@@ -74,6 +74,13 @@ LiveCellResult run_live_cell(const svc::BackendSpec& spec,
   const auto specs = sim::multicore_sweep_specs();
 
   LiveCellResult res;
+  // Commit-count via the subscribe push (SDS-style watch) instead of the
+  // old config_version() poll: every commit fires the callback exactly
+  // once, on the committing thread, so the counter needs no final read.
+  std::atomic<std::uint64_t> commits{0};
+  bucket.subscribe([&commits](std::uint64_t) {
+    commits.fetch_add(1, std::memory_order_relaxed);
+  });
   std::atomic<std::uint64_t> consumed{0}, refilled{0};
   std::atomic<bool> stop{false};
   std::vector<std::thread> threads;
@@ -82,9 +89,9 @@ LiveCellResult run_live_cell(const svc::BackendSpec& spec,
       for (std::uint64_t i = 0; i < rounds; ++i) {
         bucket.refill(w, 3);
         refilled.fetch_add(3, std::memory_order_relaxed);
-        consumed.fetch_add(bucket.consume(w, 2, /*allow_partial=*/true),
+        consumed.fetch_add(bucket.consume(w, 2, svc::kPartialOk),
                            std::memory_order_relaxed);
-        consumed.fetch_add(bucket.consume(w, 5, /*allow_partial=*/false),
+        consumed.fetch_add(bucket.consume(w, 5, svc::kAllOrNothing),
                            std::memory_order_relaxed);
       }
     });
@@ -103,12 +110,12 @@ LiveCellResult run_live_cell(const svc::BackendSpec& spec,
   bucket.respec(0, {spec, svc::BackendConfig{}, 64});  // guaranteed commit
 
   std::uint64_t got = 0;
-  while ((got = bucket.consume(0, 64, /*allow_partial=*/true)) != 0) {
+  while ((got = bucket.consume(0, 64, svc::kPartialOk)) != 0) {
     res.drained += got;
   }
   res.refilled = refilled.load();
   res.consumed = consumed.load();
-  res.respecs = bucket.config_version() - 1;
+  res.respecs = commits.load(std::memory_order_acquire);
   res.conserved = res.refilled == res.consumed + res.drained &&
                   res.refilled >= res.consumed && res.respecs >= 1;
   return res;
@@ -135,6 +142,12 @@ ReweighCellResult run_reweigh_cell(const svc::BackendSpec& spec) {
                                   {.initial_tokens = 0, .weight = 1}});
 
   ReweighCellResult res;
+  // The reweigh commit arrives by push: the subscribe callback hands us the
+  // committed version on the committing thread (here, synchronously inside
+  // reweigh), replacing the config_version() == 2 poll.
+  std::uint64_t committed_version = 0;
+  quota.subscribe(
+      [&committed_version](std::uint64_t v) { committed_version = v; });
   res.limit_before = quota.borrow_limit(0);
   const auto held = quota.acquire(0, 0, 40);
   bool ok = held.admitted && held.from_parent == 40 &&
@@ -143,7 +156,7 @@ ReweighCellResult run_reweigh_cell(const svc::BackendSpec& spec) {
   quota.reweigh(0, {1, 9});
   res.limit_after = quota.borrow_limit(0);
   res.overage = svc::borrow_overage(quota.borrowed(0), res.limit_after);
-  ok = ok && quota.config_version() == 2 && res.limit_after == 10 &&
+  ok = ok && committed_version == 2 && res.limit_after == 10 &&
        quota.borrowed(0) == 40 &&  // overage, never clawed back
        res.overage == 30 &&
        !quota.acquire(0, 0, 1).admitted;  // no allowance until it drains
@@ -159,7 +172,7 @@ ReweighCellResult run_reweigh_cell(const svc::BackendSpec& spec) {
   if (sibling.admitted) quota.release(0, sibling);
 
   std::uint64_t got = 0;
-  while ((got = quota.parent().consume(0, 64, true)) != 0) {
+  while ((got = quota.parent().consume(0, 64, svc::kPartialOk)) != 0) {
     res.parent_drained += got;
   }
   res.ok = ok && quota.borrowed(1) == 0 && res.parent_drained == 100;
@@ -201,7 +214,7 @@ bool batch_divisor_end_to_end() {
        traversals / passes == chunk;
 
   std::uint64_t drained = 0, got = 0;
-  while ((got = bucket.consume(0, 64, true)) != 0) drained += got;
+  while ((got = bucket.consume(0, 64, svc::kPartialOk)) != 0) drained += got;
   return ok && drained == 256;
 }
 

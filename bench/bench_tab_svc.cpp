@@ -72,7 +72,7 @@ double bucket_rate(svc::BackendKind kind, std::size_t threads, bool smoke) {
           since_refill[t].value = 0;
           bucket.refill(t, 256);
         }
-        return bucket.consume(t, 1, /*allow_partial=*/true);
+        return bucket.consume(t, 1, svc::kPartialOk);
       });
   return result.ops_per_sec;
 }

@@ -30,6 +30,10 @@ int main(int argc, char** argv) {
       argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 4;
 
   const auto spec = cnet::svc::parse_backend_spec(backend_name);
+  if (!spec) {
+    std::fprintf(stderr, "bad backend \"%s\": %s\n", backend_name,
+                 spec.error.c_str());
+  }
   if (!spec || tenants < 2 || tenants > 128 || hot_extra > 64) {
     std::fprintf(stderr,
                  "usage: multi_tenant_gate [[elim+]central-atomic|"

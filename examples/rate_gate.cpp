@@ -32,6 +32,10 @@ int main(int argc, char** argv) {
   const double rate = argc > 3 ? std::atof(argv[3]) : 100000.0;
 
   const auto spec = cnet::svc::parse_backend_spec(backend_name);
+  if (!spec) {
+    std::fprintf(stderr, "bad backend \"%s\": %s\n", backend_name,
+                 spec.error.c_str());
+  }
   if (!spec || threads < 2 || threads > 256 || rate < 1.0) {
     std::fprintf(stderr,
                  "usage: rate_gate [[elim+]central-atomic|central-cas|"

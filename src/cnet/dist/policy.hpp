@@ -1,0 +1,105 @@
+// Pure decision rules of the distributed counting tier, in the same mold
+// as svc/policy.hpp: everything a lease-ledger operation must *decide* —
+// how big a renewal grant is, how an expired lease's unspent tokens split
+// back across the quota levels, how healed debt settles, which peer a
+// renewal asks first — lives here, shared verbatim by the live
+// dist::PeerCluster accounting and the virtual-time cluster simulator
+// (sim::simulate_cluster). No atomics, no time, no I/O.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "cnet/dist/topology.hpp"
+
+namespace cnet::dist {
+
+// How many tokens one lease renewal requests: at least the configured
+// chunk (renewals are deliberately coarse — one round trip should buy many
+// local admissions), capped so a single node can never hold more than
+// `cap` in one lease. want == 0 asks for a full chunk top-up.
+constexpr std::uint64_t lease_grant(std::uint64_t want, std::uint64_t chunk,
+                                    std::uint64_t cap) noexcept {
+  const std::uint64_t ask = want > chunk ? want : chunk;
+  return ask < cap ? ask : cap;
+}
+
+// The split of an expired lease's refund across the two quota levels. The
+// lease was granted as (from_child, from_parent); `recovered` is what the
+// node's local pool still held of it at expiry (<= from_child +
+// from_parent — everything else was spent on admissions and has left the
+// system for good). Spend attributes child-first — the node burns its own
+// account's tokens before borrowed ones — so the recovery refunds
+// parent-first: borrowed tokens go home before own-account tokens.
+// refund_child + refund_parent == recovered always, which is what makes
+// the expiry path exactly-once conservation-neutral.
+struct ExpiryRefund {
+  std::uint64_t refund_child = 0;
+  std::uint64_t refund_parent = 0;
+};
+
+constexpr ExpiryRefund lease_expiry_refund(std::uint64_t from_child,
+                                           std::uint64_t from_parent,
+                                           std::uint64_t recovered) noexcept {
+  const std::uint64_t total = from_child + from_parent;
+  const std::uint64_t capped = recovered < total ? recovered : total;
+  const std::uint64_t spent = total - capped;
+  const std::uint64_t spent_child = spent < from_child ? spent : from_child;
+  const std::uint64_t spent_parent = spent - spent_child;
+  return {from_child - spent_child, from_parent - spent_parent};
+}
+
+// How much of a healed partition's outstanding debt settles in one
+// reconcile step: debts replay in bounded chunks (one chunk per virtual
+// round trip in the simulator, one bounded batch in the live ledger) so a
+// long partition's backlog cannot monopolize the global pool's servers at
+// the heal instant.
+constexpr std::uint64_t debt_reconcile(std::uint64_t outstanding,
+                                       std::uint64_t chunk) noexcept {
+  return outstanding < chunk ? outstanding : chunk;
+}
+
+// How much of its local balance a peer may donate to a neighbor's renewal:
+// everything above its own reserve. The reserve is what keeps donation
+// from turning one node's burst into its rack-mates' starvation.
+constexpr std::uint64_t peer_surplus(std::uint64_t balance,
+                                     std::uint64_t reserve) noexcept {
+  return balance > reserve ? balance - reserve : 0;
+}
+
+// The split of a peer donation across the donor lease's levels,
+// child-first (mirroring lease_expiry_refund's spend attribution: own
+// tokens move first, borrowed ones only when the own part is exhausted).
+struct CarvedParts {
+  std::uint64_t from_child = 0;
+  std::uint64_t from_parent = 0;
+  constexpr std::uint64_t tokens() const noexcept {
+    return from_child + from_parent;
+  }
+};
+
+constexpr CarvedParts lease_carve(std::uint64_t want,
+                                  std::uint64_t avail_child,
+                                  std::uint64_t avail_parent) noexcept {
+  const std::uint64_t give_child = want < avail_child ? want : avail_child;
+  const std::uint64_t rest = want - give_child;
+  const std::uint64_t give_parent = rest < avail_parent ? rest : avail_parent;
+  return {give_child, give_parent};
+}
+
+// The topology walk behind lease renewal: the `attempt`-th candidate node
+// to ask, nearest-first (same rack, then same dc, then remote — the
+// precomputed Topology::peers_by_proximity order). Exhausting the walk
+// (nullopt) means "go to the global hierarchy yourself". Both the live
+// PeerCluster and the simulator drive their renewal loops off this one
+// function, so "rack-local renewal" means the same thing in Table G and
+// Table G′.
+inline std::optional<std::size_t> renewal_target(const Topology& topo,
+                                                 std::size_t node,
+                                                 std::size_t attempt) {
+  const auto& order = topo.peers_by_proximity(node);
+  if (attempt >= order.size()) return std::nullopt;
+  return order[attempt];
+}
+
+}  // namespace cnet::dist

@@ -1,0 +1,58 @@
+#include "cnet/dist/topology.hpp"
+
+#include <utility>
+
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::dist {
+
+const char* proximity_name(Proximity p) noexcept {
+  switch (p) {
+    case Proximity::kSelf: return "self";
+    case Proximity::kSameRack: return "same-rack";
+    case Proximity::kSameDc: return "same-dc";
+    case Proximity::kRemote: return "remote";
+  }
+  return "?";
+}
+
+Topology::Topology(std::vector<NodeLocation> nodes)
+    : nodes_(std::move(nodes)) {
+  CNET_REQUIRE(!nodes_.empty(), "topology needs at least one node");
+  peer_order_.resize(nodes_.size());
+  for (std::size_t a = 0; a < nodes_.size(); ++a) {
+    auto& order = peer_order_[a];
+    order.reserve(nodes_.size() - 1);
+    // Three index-ascending passes give the nearest-first bucket order
+    // without a sort — determinism by construction.
+    for (const Proximity bucket :
+         {Proximity::kSameRack, Proximity::kSameDc, Proximity::kRemote}) {
+      for (std::size_t b = 0; b < nodes_.size(); ++b) {
+        if (b != a && proximity(a, b) == bucket) order.push_back(b);
+      }
+    }
+  }
+}
+
+const NodeLocation& Topology::location(std::size_t node) const {
+  CNET_REQUIRE(node < nodes_.size(), "node index out of range");
+  return nodes_[node];
+}
+
+Proximity Topology::proximity(std::size_t a, std::size_t b) const {
+  CNET_REQUIRE(a < nodes_.size() && b < nodes_.size(),
+               "node index out of range");
+  if (a == b) return Proximity::kSelf;
+  const NodeLocation& la = nodes_[a];
+  const NodeLocation& lb = nodes_[b];
+  if (la.dc != lb.dc) return Proximity::kRemote;
+  return la.rack == lb.rack ? Proximity::kSameRack : Proximity::kSameDc;
+}
+
+const std::vector<std::size_t>& Topology::peers_by_proximity(
+    std::size_t node) const {
+  CNET_REQUIRE(node < nodes_.size(), "node index out of range");
+  return peer_order_[node];
+}
+
+}  // namespace cnet::dist

@@ -1,0 +1,57 @@
+// Static dc/rack-aware peer map for the distributed counting tier — the
+// gossip-free first cut of the dynomite datacenter → rack → node shape: the
+// node set is fixed at construction, and the only question the map answers
+// is "how far is peer b from node a", in the three buckets that matter for
+// lease-renewal routing (same rack, same datacenter, remote). Failure and
+// membership churn are not modeled here: a dead or partitioned node simply
+// stops renewing and its leases expire (see dist/peer_cluster.hpp).
+//
+// Everything is pure and immutable after construction — no atomics, no
+// time, no I/O — so the virtual-time cluster simulator walks the exact
+// same map as the live PeerCluster.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cnet::dist {
+
+// Where a node sits. Ids are opaque labels; equality is all that matters.
+struct NodeLocation {
+  std::uint32_t dc = 0;
+  std::uint32_t rack = 0;
+};
+
+// Distance buckets, nearest first. The renewal_target walk (dist/policy.hpp)
+// tries candidates in this order.
+enum class Proximity : std::uint8_t {
+  kSelf = 0,
+  kSameRack = 1,  // same dc, same rack
+  kSameDc = 2,    // same dc, different rack
+  kRemote = 3,    // different dc
+};
+
+const char* proximity_name(Proximity p) noexcept;
+
+class Topology {
+ public:
+  explicit Topology(std::vector<NodeLocation> nodes);
+
+  std::size_t num_nodes() const noexcept { return nodes_.size(); }
+  const NodeLocation& location(std::size_t node) const;
+
+  Proximity proximity(std::size_t a, std::size_t b) const;
+
+  // Peers of `node` (never `node` itself), ordered nearest-first: all
+  // same-rack peers, then same-dc, then remote, index-ascending within each
+  // bucket. This is the deterministic candidate order the renewal_target
+  // walk consumes — precomputed at construction so the walk is one vector
+  // index in both the live ledger and the simulator.
+  const std::vector<std::size_t>& peers_by_proximity(std::size_t node) const;
+
+ private:
+  std::vector<NodeLocation> nodes_;
+  std::vector<std::vector<std::size_t>> peer_order_;
+};
+
+}  // namespace cnet::dist

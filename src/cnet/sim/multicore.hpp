@@ -393,4 +393,122 @@ svc::BackendSpec reconfig_respec_target(const svc::BackendSpec& spec_from);
 // batched network).
 std::vector<svc::BackendSpec> multicore_sweep_specs();
 
+// ---------------------------------------------------------------- cluster
+
+// The dist::PeerCluster tier in virtual time (Table G′'s model
+// counterpart): N nodes — each a simulated multicore machine with a local
+// admission pool — joined to a global quota coordinator (per-node lease
+// accounts over a shared parent pool built from `parent_spec`) by per-link
+// FIFO latency servers whose service time depends on dc/rack proximity.
+// Every decision runs the exact rules the live tier runs: lease_grant /
+// lease_expiry_refund / debt_reconcile / renewal_target / peer_surplus /
+// lease_carve from dist/policy.hpp over the real dist::Topology walk, and
+// borrow_allowance / quota_settle from svc/policy.hpp for the coordinator's
+// two-level grants.
+//
+// Workload: each node core runs a closed admit(1) loop against its node's
+// local pool. In leased mode an empty pool triggers a lease renewal —
+// donation from the nearest peer with surplus (one rack/dc round trip),
+// else a global acquire (one uplink round trip) — and admissions otherwise
+// complete at local service time. With leased=false the tier degenerates
+// to naive central counting: every admission round-trips the uplink to the
+// parent pool. The p50/p99 admission-latency gap between the two modes is
+// the tier's locality claim. Failure is lease expiry; partitions (scripted
+// [start, end) windows) block a node's control plane — it spends only its
+// held leases, expiries escrow into debt, and heal replays the debt
+// exactly in debt_reconcile-bounded batches. Deterministic given the seed.
+struct ClusterNode {
+  std::uint32_t dc = 0;
+  std::uint32_t rack = 0;
+};
+
+struct ClusterPartition {
+  std::size_t node = 0;
+  double start = 0.0;
+  double end = 0.0;  // heal instant (must be > start)
+};
+
+struct ClusterSimConfig {
+  // Engine/model knobs (service times, slopes, network shape, exponential
+  // draws, seed); base.cores / ops_per_core / refill_every /
+  // initial_tokens_per_core are ignored here.
+  MulticoreConfig base;
+
+  std::vector<ClusterNode> nodes;  // the static dc/rack topology
+  std::size_t cores_per_node = 4;
+  std::uint64_t ops_per_core = 256;  // admit(1) attempts per core
+  double think_time = 0.5;
+
+  // The global hierarchy (node = tenant, cluster budget = parent).
+  std::uint64_t parent_initial = 2048;
+  std::uint64_t account_initial = 128;  // per-node lease account
+  std::uint64_t borrow_budget = 1024;
+  std::uint64_t local_initial = 0;  // per-node local pool at t=0
+
+  // Lease machinery — the dist/policy.hpp knobs.
+  std::uint64_t lease_chunk = 128;
+  std::uint64_t lease_cap = 512;
+  double lease_ttl = 600.0;  // virtual time until an unrenewed lease expires
+  std::uint64_t peer_reserve = 32;
+  std::uint64_t reconcile_chunk = 256;
+
+  // true: lease-renewal tier. false: naive central counting — every admit
+  // round-trips to the parent pool (the baseline the locality claim beats).
+  bool leased = true;
+
+  // One-way link latencies by proximity, and the local admit service time.
+  double link_same_rack = 1.0;
+  double link_same_dc = 4.0;
+  double link_remote = 16.0;
+  double local_service = 0.2;
+
+  std::vector<ClusterPartition> partitions;
+};
+
+struct ClusterSimResult {
+  double makespan = 0.0;
+  std::uint64_t attempts = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t spent = 0;  // tokens consumed by admissions
+
+  std::uint64_t renewals = 0;        // global-acquire renewals that landed
+  std::uint64_t renewal_tokens = 0;  // tokens they granted
+  std::uint64_t donations = 0;       // peer-to-peer lease transfers
+  std::uint64_t donated_tokens = 0;
+  std::uint64_t expiries = 0;
+  std::uint64_t expiry_recovered = 0;  // unspent tokens recovered at expiry
+  std::uint64_t expiry_refunded = 0;   // tokens refunded into the hierarchy
+  std::uint64_t debt_created = 0;      // escrowed during partitions
+  std::uint64_t debt_reconciled = 0;   // settled at heal
+  // Coordinator/peer touches made on behalf of a partitioned node — the
+  // partition contract says this is always zero.
+  std::uint64_t partition_global_touches = 0;
+
+  std::uint64_t initial_tokens = 0;
+  std::int64_t final_parent_pool = 0;
+  std::int64_t final_account_tokens = 0;  // Σ per-node lease accounts
+  std::int64_t final_local_tokens = 0;    // Σ per-node local pools
+  // spent + parent + accounts + locals == initials, no pool ever negative,
+  // no outstanding borrow, no unreconciled escrow.
+  bool conserved = false;
+  // Every partition-escrowed token was reconciled exactly once.
+  bool debt_settled = false;
+
+  double p50_admission = 0.0;  // admission latency percentiles (admitted
+  double p99_admission = 0.0;  // ops only), issue to completion
+  std::uint64_t parent_stalls = 0;
+};
+
+// Deterministic from (parent_spec, cfg, cfg.base.seed), like the other
+// simulators.
+ClusterSimResult simulate_cluster(const svc::BackendSpec& parent_spec,
+                                  const ClusterSimConfig& cfg);
+
+// The Table G′ reference topology at `nodes` nodes — striped across 2 dcs
+// of 2 racks each, fixed seed — shared by bench_tab_dist and the sim tests
+// so the CI-gated conservation/partition/locality checks and the golden
+// tests can never drift onto different configs.
+ClusterSimConfig cluster_sim_reference_config(std::size_t nodes);
+
 }  // namespace cnet::sim

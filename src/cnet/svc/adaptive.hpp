@@ -108,6 +108,11 @@ class AdaptiveCounter final : public rt::Counter,
   std::uint64_t config_version() const noexcept override {
     return engine_.config_version();
   }
+  // Watch the swap commit (Reconfigurable contract; fires once, with
+  // version 2, on whichever thread performs the swap).
+  void subscribe(CommitCallback on_commit) override {
+    engine_.subscribe(std::move(on_commit));
+  }
 
   // Overload hook: once attached, a tier carrying force_eliminate makes
   // the next sample boundary take the cold→hot swap immediately instead of

@@ -49,8 +49,8 @@ AdmissionController::Ticket AdmissionController::admit(
   // caller that compares the result against `cost`.
   const bool degrade =
       overload_ != nullptr && overload_->actions().degrade_to_partial;
-  const std::uint64_t charged =
-      bucket_.consume(thread_hint, cost, /*allow_partial=*/degrade);
+  const std::uint64_t charged = bucket_.consume(
+      thread_hint, cost, degrade ? kPartialOk : kAllOrNothing);
   if (degrade ? charged == 0 : charged != cost) {
     return ticket;  // rejected, nothing charged, no ID burned
   }

@@ -38,16 +38,53 @@ std::string backend_spec_name(const BackendSpec& spec) {
              : std::string(backend_kind_name(spec.kind));
 }
 
-std::optional<BackendSpec> parse_backend_spec(std::string_view name) noexcept {
-  BackendSpec spec;
-  if (name.substr(0, kElimPrefix.size()) == kElimPrefix) {
-    spec.elimination = true;
-    name.remove_prefix(kElimPrefix.size());
+namespace {
+std::string known_kinds_list() {
+  std::string list;
+  for (const BackendKind kind : kPoolBackendKinds) {
+    if (!list.empty()) list += ", ";
+    list += backend_kind_name(kind);
   }
-  const auto kind = parse_backend_kind(name);
-  if (!kind) return std::nullopt;
+  return list;
+}
+}  // namespace
+
+ParseResult parse_backend_spec(std::string_view name) {
+  ParseResult result;
+  BackendSpec spec;
+  std::string_view rest = name;
+  if (rest.substr(0, kElimPrefix.size()) == kElimPrefix) {
+    spec.elimination = true;
+    rest.remove_prefix(kElimPrefix.size());
+    if (rest.empty()) {
+      result.error = "bare \"elim+\" prefix in \"" + std::string(name) +
+                     "\": expected elim+<kind>";
+      return result;
+    }
+  }
+  const auto kind = parse_backend_kind(rest);
+  if (!kind) {
+    // Distinguish "right kind, junk appended" from "no such kind": the
+    // former is usually a typo'd suffix worth pointing at directly.
+    for (const BackendKind k : kPoolBackendKinds) {
+      const std::string_view kind_name = backend_kind_name(k);
+      if (rest.size() > kind_name.size() &&
+          rest.substr(0, kind_name.size()) == kind_name) {
+        result.error = "trailing garbage \"" +
+                       std::string(rest.substr(kind_name.size())) +
+                       "\" after backend kind \"" + std::string(kind_name) +
+                       "\" in \"" + std::string(name) + "\"";
+        return result;
+      }
+    }
+    result.error = "unknown backend kind \"" + std::string(rest) + "\" in \"" +
+                   std::string(name) + "\" (known: " + known_kinds_list() +
+                   "; prefix with \"elim+\" for the elimination front-end)";
+    return result;
+  }
   spec.kind = *kind;
-  return spec;
+  result.spec = spec;
+  return result;
 }
 
 std::unique_ptr<rt::Counter> make_counter(BackendKind kind,

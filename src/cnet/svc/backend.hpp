@@ -75,7 +75,25 @@ std::optional<BackendKind> parse_backend_kind(std::string_view name) noexcept;
 
 // "elim+<kind>" or "<kind>"; round-trips with backend_spec_name.
 std::string backend_spec_name(const BackendSpec& spec);
-std::optional<BackendSpec> parse_backend_spec(std::string_view name) noexcept;
+
+// Outcome of parsing a backend spec string: on success `spec` is set and
+// `error` empty; on failure `spec` is empty and `error` carries the
+// human-readable reason (unknown kind, bare/bad "elim+" prefix, trailing
+// garbage after a known kind) so benches and examples can report *why* a
+// --backend argument was rejected instead of silently falling back. The
+// optional-style accessors keep `if (parsed)` / `*parsed` call sites
+// reading naturally.
+struct ParseResult {
+  std::optional<BackendSpec> spec;
+  std::string error;
+
+  bool has_value() const noexcept { return spec.has_value(); }
+  explicit operator bool() const noexcept { return spec.has_value(); }
+  const BackendSpec& operator*() const { return *spec; }
+  const BackendSpec* operator->() const { return &*spec; }
+};
+
+ParseResult parse_backend_spec(std::string_view name);
 
 std::unique_ptr<rt::Counter> make_counter(BackendKind kind,
                                           const BackendConfig& cfg = {});

@@ -29,7 +29,7 @@ NetTokenBucket::NetTokenBucket(std::unique_ptr<rt::Counter> pool, Config cfg)
 
 std::uint64_t NetTokenBucket::consume(std::size_t thread_hint,
                                       std::uint64_t tokens,
-                                      bool allow_partial) {
+                                      ConsumeOptions opts) {
   if (tokens == 0) return 0;  // defined no-op: success, pool untouched
   attempts_.add(thread_hint, 1);
   const std::uint64_t got =
@@ -55,7 +55,7 @@ std::uint64_t NetTokenBucket::consume(std::size_t thread_hint,
         // untouched pool or the fully settled one — never a half-refunded
         // state.
         return bucket_consume(
-            tokens, allow_partial,
+            tokens, opts,
             [&](std::uint64_t want) {
               return state.pool->try_fetch_decrement_n(thread_hint, want);
             },

@@ -1,4 +1,4 @@
-// An envoy-style token-bucket rate limiter (consume(k, allow_partial), cf.
+// An envoy-style token-bucket rate limiter (consume(k, ConsumeOptions), cf.
 // envoy/common/token_bucket.h) whose token pool is a shared counter:
 // increments refill the pool, bounded antitoken decrements consume it. With
 // a counting-network backend the admission decisions spread across the
@@ -29,6 +29,7 @@
 
 #include "cnet/runtime/counter.hpp"
 #include "cnet/svc/backend.hpp"
+#include "cnet/svc/policy.hpp"
 #include "cnet/svc/reconfig.hpp"
 #include "cnet/util/stall_slots.hpp"
 
@@ -60,7 +61,7 @@ class NetTokenBucket : public Reconfigurable {
   explicit NetTokenBucket(std::unique_ptr<rt::Counter> pool);
 
   // Takes up to `tokens` from the pool and returns how many were actually
-  // consumed. With allow_partial, a short pool yields a partial grab
+  // consumed. With opts.partial_ok, a short pool yields a partial grab
   // (possibly 0); without, the call is all-or-nothing — on shortfall the
   // partial grab is returned to the pool and 0 is reported. A failed
   // single-token consume means the pool was observably empty; multi-token
@@ -72,7 +73,12 @@ class NetTokenBucket : public Reconfigurable {
   // every backend: the pool is never touched and the call must not be
   // read as a rejection (the bucket_consume plan pins the same contract).
   std::uint64_t consume(std::size_t thread_hint, std::uint64_t tokens,
-                        bool allow_partial);
+                        ConsumeOptions opts = kAllOrNothing);
+  [[deprecated("pass svc::ConsumeOptions (kPartialOk / kAllOrNothing)")]]
+  std::uint64_t consume(std::size_t thread_hint, std::uint64_t tokens,
+                        bool allow_partial) {
+    return consume(thread_hint, tokens, ConsumeOptions{allow_partial});
+  }
 
   // Adds `tokens` to the pool via the backend's batched increment path.
   void refill(std::size_t thread_hint, std::uint64_t tokens);
@@ -98,6 +104,11 @@ class NetTokenBucket : public Reconfigurable {
   // Version stamp: bumped once per committed respec (starts at 1).
   std::uint64_t config_version() const noexcept override {
     return engine_.config_version();
+  }
+  // Watch respec commits (Reconfigurable contract; delivered by the engine
+  // on the committing thread, under the commit lock).
+  void subscribe(CommitCallback on_commit) override {
+    engine_.subscribe(std::move(on_commit));
   }
   // The refill chunk of the currently published configuration.
   std::size_t refill_chunk() const noexcept {

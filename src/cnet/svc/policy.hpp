@@ -57,6 +57,28 @@ constexpr std::int64_t elimination_pair_value(std::size_t num_slots,
   return -1 - static_cast<std::int64_t>(epoch * num_slots + slot);
 }
 
+// How a consume/acquire settles a short pool, as one options struct rather
+// than the historic bare `bool allow_partial` positional argument (which
+// read as line noise at call sites and left no room to grow). Passed by
+// value through every consume-shaped call in the service layer —
+// NetTokenBucket::consume, QuotaHierarchy::acquire, and the shared rules
+// below — and by the simulator's pool models, so live code and model agree
+// on the same struct.
+struct ConsumeOptions {
+  // A short pool yields a partial grab (possibly 0) instead of the
+  // all-or-nothing refund-and-reject.
+  bool partial_ok = false;
+  // Reserved for the admission-latency roadmap items; carried through the
+  // call chain but not yet acted on anywhere. deadline is a caller clock
+  // instant (0 = none); priority classes order shedding, 0 = highest.
+  double deadline = 0.0;
+  std::uint8_t priority = 0;
+};
+
+// The two common settlements, named so call sites read as intent.
+inline constexpr ConsumeOptions kAllOrNothing{};
+inline constexpr ConsumeOptions kPartialOk{/*partial_ok=*/true};
+
 // The token-bucket consume plan: grab up to `tokens` through `take_n`
 // (which returns how many it claimed; zero is conclusive — the pool was
 // observably empty), and on an all-or-nothing shortfall refund the partial
@@ -69,7 +91,7 @@ constexpr std::int64_t elimination_pair_value(std::size_t num_slots,
 // in both partial and all-or-nothing modes — "all of nothing" is nothing —
 // so it must not be reported or treated as a rejection.)
 template <class TakeN, class PutN>
-std::uint64_t bucket_consume(std::uint64_t tokens, bool allow_partial,
+std::uint64_t bucket_consume(std::uint64_t tokens, ConsumeOptions opts,
                              TakeN&& take_n, PutN&& put_n) {
   if (tokens == 0) return 0;  // the defined no-op, never a backend touch
   std::uint64_t got = 0;
@@ -78,11 +100,20 @@ std::uint64_t bucket_consume(std::uint64_t tokens, bool allow_partial,
     if (grabbed == 0) break;
     got += grabbed;
   }
-  if (!allow_partial && got < tokens && got > 0) {
+  if (!opts.partial_ok && got < tokens && got > 0) {
     put_n(got);
     got = 0;
   }
   return got;
+}
+
+template <class TakeN, class PutN>
+[[deprecated("pass svc::ConsumeOptions (kPartialOk / kAllOrNothing)")]]
+std::uint64_t bucket_consume(std::uint64_t tokens, bool allow_partial,
+                             TakeN&& take_n, PutN&& put_n) {
+  return bucket_consume(tokens, ConsumeOptions{allow_partial},
+                        std::forward<TakeN>(take_n),
+                        std::forward<PutN>(put_n));
 }
 
 // ---------------------------------------------------------------------------
@@ -119,7 +150,7 @@ constexpr std::uint64_t borrow_allowance(std::uint64_t want,
 // The settlement of a two-level grab: given what the child and parent takes
 // actually yielded, either the request is covered (admitted, keep both
 // parts) or every token goes back to the level it was taken from. By
-// default the settlement is all-or-nothing; with allow_partial (the
+// default the settlement is all-or-nothing; with opts.partial_ok (the
 // overload manager's kDegradePartial action) any nonzero yield settles as
 // admitted — the caller keeps exactly from_child + from_parent tokens and
 // must release exactly those parts later, so conservation stays level-exact
@@ -134,10 +165,19 @@ struct QuotaSettlement {
 constexpr QuotaSettlement quota_settle(std::uint64_t tokens,
                                        std::uint64_t from_child,
                                        std::uint64_t from_parent,
-                                       bool allow_partial = false) noexcept {
+                                       ConsumeOptions opts = {}) noexcept {
   if (from_child + from_parent == tokens) return {true, 0, 0};
-  if (allow_partial && from_child + from_parent > 0) return {true, 0, 0};
+  if (opts.partial_ok && from_child + from_parent > 0) return {true, 0, 0};
   return {false, from_child, from_parent};
+}
+
+[[deprecated("pass svc::ConsumeOptions (kPartialOk / kAllOrNothing)")]]
+constexpr QuotaSettlement quota_settle(std::uint64_t tokens,
+                                       std::uint64_t from_child,
+                                       std::uint64_t from_parent,
+                                       bool allow_partial) noexcept {
+  return quota_settle(tokens, from_child, from_parent,
+                      ConsumeOptions{allow_partial});
 }
 
 // Composition of a successful (or rejected) two-level acquire.
@@ -157,7 +197,7 @@ struct QuotaGrantPlan {
 // On success the reservation is kept — it *is* the tenant's outstanding
 // borrow until release().
 //
-// With allow_partial (the overload manager's kDegradePartial action) a
+// With opts.partial_ok (the overload manager's kDegradePartial action) a
 // short yield still admits: the plan keeps whatever the child plus parent
 // actually produced, and any reserved headroom beyond the parent tokens
 // actually claimed is unreserved before returning — so the outstanding
@@ -169,7 +209,7 @@ QuotaGrantPlan quota_acquire(std::uint64_t tokens, TakeChild&& take_child,
                              Reserve&& reserve, Unreserve&& unreserve,
                              TakeParent&& take_parent, PutChild&& put_child,
                              PutParent&& put_parent,
-                             bool allow_partial = false) {
+                             ConsumeOptions opts = {}) {
   QuotaGrantPlan plan;
   if (tokens == 0) {  // the defined no-op, as in bucket_consume
     plan.admitted = true;
@@ -183,7 +223,7 @@ QuotaGrantPlan quota_acquire(std::uint64_t tokens, TakeChild&& take_child,
     reserved = reserve(shortfall);
     if (reserved == shortfall) {
       from_parent = take_parent(shortfall);
-    } else if (allow_partial && reserved > 0) {
+    } else if (opts.partial_ok && reserved > 0) {
       // Degraded mode accepts a partial reservation and borrows only what
       // was secured; the all-or-nothing path must not (a short borrow
       // would turn into a short grant and a spurious rejection).
@@ -191,7 +231,7 @@ QuotaGrantPlan quota_acquire(std::uint64_t tokens, TakeChild&& take_child,
     }
   }
   const QuotaSettlement settle =
-      quota_settle(tokens, from_child, from_parent, allow_partial);
+      quota_settle(tokens, from_child, from_parent, opts);
   if (settle.admitted) {
     // A degraded (partial) admit may hold a reservation larger than the
     // parent tokens it actually claimed; give the unused headroom back so
@@ -210,6 +250,22 @@ QuotaGrantPlan quota_acquire(std::uint64_t tokens, TakeChild&& take_child,
   if (settle.refund_child > 0) put_child(settle.refund_child);
   if (reserved > 0) unreserve(reserved);
   return plan;
+}
+
+template <class TakeChild, class Reserve, class Unreserve, class TakeParent,
+          class PutChild, class PutParent>
+[[deprecated("pass svc::ConsumeOptions (kPartialOk / kAllOrNothing)")]]
+QuotaGrantPlan quota_acquire(std::uint64_t tokens, TakeChild&& take_child,
+                             Reserve&& reserve, Unreserve&& unreserve,
+                             TakeParent&& take_parent, PutChild&& put_child,
+                             PutParent&& put_parent, bool allow_partial) {
+  return quota_acquire(tokens, std::forward<TakeChild>(take_child),
+                       std::forward<Reserve>(reserve),
+                       std::forward<Unreserve>(unreserve),
+                       std::forward<TakeParent>(take_parent),
+                       std::forward<PutChild>(put_child),
+                       std::forward<PutParent>(put_parent),
+                       ConsumeOptions{allow_partial});
 }
 
 // ---------------------------------------------------------------------------

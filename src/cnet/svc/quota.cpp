@@ -77,7 +77,8 @@ std::uint64_t QuotaHierarchy::reserve_borrow(std::size_t thread_hint,
 
 QuotaHierarchy::Grant QuotaHierarchy::acquire(std::size_t thread_hint,
                                               std::size_t tenant,
-                                              std::uint64_t tokens) {
+                                              std::uint64_t tokens,
+                                              ConsumeOptions opts) {
   CNET_REQUIRE(tenant < tenants_.size(), "tenant index out of range");
   TenantState& state = tenants_[tenant];
   if (state.shed.load(std::memory_order_acquire)) {
@@ -89,14 +90,19 @@ QuotaHierarchy::Grant QuotaHierarchy::acquire(std::size_t thread_hint,
   }
   // Degrade-partial is decided here (not in the buckets) so the grant's
   // parts record exactly what was taken — release() stays an exact undo.
-  const bool degrade =
-      overload_ != nullptr && overload_->actions().degrade_to_partial;
+  // The overload action forces partial settlement on top of whatever the
+  // caller asked for; it never forces all-or-nothing.
+  if (overload_ != nullptr && overload_->actions().degrade_to_partial) {
+    opts.partial_ok = true;
+  }
   // The whole flow is the shared svc::quota_acquire plan; only the
-  // concrete take/refund/reserve mechanics live here.
+  // concrete take/refund/reserve mechanics live here. The level takes are
+  // always partial — the settlement rule, not the pools, decides whether a
+  // short yield admits under opts.
   const QuotaGrantPlan plan = quota_acquire(
       tokens,
       [&](std::uint64_t n) {
-        return state.bucket->consume(thread_hint, n, /*allow_partial=*/true);
+        return state.bucket->consume(thread_hint, n, kPartialOk);
       },
       [&](std::uint64_t n) {
         return reserve_borrow(thread_hint, tenant, state, n);
@@ -105,11 +111,11 @@ QuotaHierarchy::Grant QuotaHierarchy::acquire(std::size_t thread_hint,
         state.borrowed.fetch_sub(n, std::memory_order_release);
       },
       [&](std::uint64_t n) {
-        return parent_.consume(thread_hint, n, /*allow_partial=*/true);
+        return parent_.consume(thread_hint, n, kPartialOk);
       },
       [&](std::uint64_t n) { state.bucket->refund(thread_hint, n); },
       [&](std::uint64_t n) { parent_.refund(thread_hint, n); },
-      /*allow_partial=*/degrade);
+      opts);
   Grant grant;
   grant.admitted = plan.admitted;
   grant.tenant = static_cast<std::uint32_t>(tenant);
@@ -132,6 +138,31 @@ void QuotaHierarchy::release(std::size_t thread_hint, const Grant& grant) {
     // records what was borrowed under whatever limits then held, so this
     // undo is exact under any current weight generation.
     parent_.refund(thread_hint, grant.from_parent);
+    state.borrowed.fetch_sub(grant.from_parent, std::memory_order_release);
+  }
+}
+
+void QuotaHierarchy::settle_spent(std::size_t thread_hint, const Grant& grant,
+                                  std::uint64_t refund_child,
+                                  std::uint64_t refund_parent) {
+  CNET_REQUIRE(grant.admitted, "settlement of a rejected grant");
+  CNET_REQUIRE(grant.tenant < tenants_.size(), "grant tenant out of range");
+  CNET_REQUIRE(refund_child <= grant.from_child,
+               "child refund exceeds the grant's child part");
+  CNET_REQUIRE(refund_parent <= grant.from_parent,
+               "parent refund exceeds the grant's parent part");
+  TenantState& state = tenants_[grant.tenant];
+  if (refund_child > 0) {
+    state.bucket->refund(thread_hint, refund_child);
+  }
+  // Pool before headroom, as in release(). The headroom freed is the whole
+  // from_parent — the spent remainder left the system for good and must not
+  // keep occupying the tenant's weighted limit — but only the unspent part
+  // goes back to the pool, so the parent's count stays exact.
+  if (refund_parent > 0) {
+    parent_.refund(thread_hint, refund_parent);
+  }
+  if (grant.from_parent > 0) {
     state.borrowed.fetch_sub(grant.from_parent, std::memory_order_release);
   }
 }

@@ -95,19 +95,20 @@ class QuotaHierarchy : public Reconfigurable {
 
   QuotaHierarchy(const Config& cfg, std::vector<TenantConfig> tenants);
 
-  // All-or-nothing: `tokens` from the tenant's child bucket first, the
-  // shortfall borrowed from the parent within the tenant's weighted limit;
-  // on any shortfall everything is refunded to the level it came from and
-  // the grant is rejected. tokens == 0 is a defined no-op that admits with
-  // empty parts (same contract as NetTokenBucket::consume). Two overload
-  // interventions apply: a shed tenant is rejected up front without
-  // touching any pool, and under the degrade-partial action a short yield
-  // still admits, with Grant parts recording exactly what was taken (so
+  // All-or-nothing by default: `tokens` from the tenant's child bucket
+  // first, the shortfall borrowed from the parent within the tenant's
+  // weighted limit; on any shortfall everything is refunded to the level it
+  // came from and the grant is rejected. With opts.partial_ok a short yield
+  // still admits, Grant parts recording exactly what was taken. tokens == 0
+  // is a defined no-op that admits with empty parts (same contract as
+  // NetTokenBucket::consume). Two overload interventions apply: a shed
+  // tenant is rejected up front without touching any pool, and the
+  // degrade-partial action forces partial_ok regardless of opts (so
   // release() remains an exact undo — conservation is level-local in every
   // mode). Over-admission is impossible in every mode: each granted token
   // was decremented from a pool bounded at zero.
   Grant acquire(std::size_t thread_hint, std::size_t tenant,
-                std::uint64_t tokens);
+                std::uint64_t tokens, ConsumeOptions opts = kAllOrNothing);
 
   // Returns a grant's tokens: the child part to the tenant's bucket, the
   // parent part to the parent pool (pool first, then the borrow headroom,
@@ -115,6 +116,22 @@ class QuotaHierarchy : public Reconfigurable {
   // the tokens already back in the pool). Both go through the refund path,
   // invisible to an adaptive backend's load probe.
   void release(std::size_t thread_hint, const Grant& grant);
+
+  // Partially-spent settlement of a grant, for callers that consumed some
+  // of a grant's tokens for good and hand back only the remainder (the
+  // dist layer's lease ledger: an expired lease refunds its unspent part
+  // exactly once). Refunds refund_child to the tenant's bucket and
+  // refund_parent to the parent pool, while the borrow headroom is freed
+  // for the grant's *entire* from_parent — spent parent tokens have left
+  // the system for good and must stop occupying the tenant's weighted
+  // limit, or spend would permanently leak reservation headroom. Requires
+  // refund_child <= grant.from_child and refund_parent <= grant.from_parent;
+  // call at most once per grant (it settles the whole grant — release() is
+  // the refund_child == from_child, refund_parent == from_parent special
+  // case). Conservation stays level-exact: each pool receives exactly the
+  // unspent part of what it granted.
+  void settle_spent(std::size_t thread_hint, const Grant& grant,
+                    std::uint64_t refund_child, std::uint64_t refund_parent);
 
   // Capacity additions (these *are* load, unlike release's give-backs).
   void refill_tenant(std::size_t thread_hint, std::size_t tenant,
@@ -147,6 +164,11 @@ class QuotaHierarchy : public Reconfigurable {
   // Version stamp: bumped once per committed reweigh (starts at 1).
   std::uint64_t config_version() const noexcept override {
     return weights_.config_version();
+  }
+  // Watch reweigh commits (Reconfigurable contract; delivered by the engine
+  // on the committing thread, under the commit lock).
+  void subscribe(CommitCallback on_commit) override {
+    weights_.subscribe(std::move(on_commit));
   }
 
   // Puts the hierarchy under an overload manager (usually via

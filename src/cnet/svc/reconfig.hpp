@@ -38,6 +38,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -55,11 +56,23 @@ namespace cnet::svc {
 // use the stamp to tell which configuration an observation belongs to.
 class Reconfigurable {
  public:
+  // Invoked once per committed reconfiguration with the freshly bumped
+  // version (SDS-style watch: push on update instead of polling).
+  using CommitCallback = std::function<void(std::uint64_t version)>;
+
   virtual ~Reconfigurable() = default;
   // Starts at 1; each committed reconfiguration increments it by one. A
   // reader that sees the same version before and after an observation knows
-  // no commit landed in between.
+  // no commit landed in between. Kept alongside subscribe() — a one-shot
+  // stamp read is still the right tool for bracketing an observation.
   virtual std::uint64_t config_version() const noexcept = 0;
+  // Registers a callback fired after each commit completes (migration done,
+  // version bumped), on the committing thread and under the commit lock —
+  // so callbacks see a fully consistent new state, must stay cheap, and
+  // must not re-enter commit()/subscribe() on the same engine. Callbacks
+  // cannot be unregistered and must outlive the engine; distinct commits
+  // are delivered in order with strictly increasing versions.
+  virtual void subscribe(CommitCallback on_commit) = 0;
 };
 
 template <class State>
@@ -106,6 +119,12 @@ class ReconfigEngine final : public Reconfigurable {
     return version_.load(std::memory_order_acquire);
   }
 
+  void subscribe(CommitCallback on_commit) override {
+    CNET_REQUIRE(on_commit != nullptr, "null commit callback");
+    const std::lock_guard<std::mutex> lock(commit_mutex_);
+    subscribers_.push_back(std::move(on_commit));
+  }
+
   // Applies a staged state: publish, wait for reader quiescence, then run
   // `migrate(old_state, new_state)` against the quiescent old state (move
   // pool tokens, roll up telemetry — whatever the consumer's conservation
@@ -126,7 +145,14 @@ class ReconfigEngine final : public Reconfigurable {
     migrate(*old, *fresh);
     retired_.push_back(std::move(current_));
     current_ = std::move(next);
-    return version_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    const std::uint64_t version =
+        version_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    // Notify under the commit lock: subscribers see commits in order with
+    // strictly increasing versions, and never concurrently with the next
+    // migration. The contract (Reconfigurable::subscribe) forbids
+    // re-entering commit() from a callback.
+    for (const auto& on_commit : subscribers_) on_commit(version);
+    return version;
   }
 
   // Retired states, oldest first, for telemetry rollups. Only grows; safe
@@ -143,6 +169,7 @@ class ReconfigEngine final : public Reconfigurable {
   mutable std::mutex commit_mutex_;
   std::unique_ptr<State> current_;           // guarded by commit_mutex_
   std::vector<std::unique_ptr<State>> retired_;  // guarded by commit_mutex_
+  std::vector<CommitCallback> subscribers_;      // guarded by commit_mutex_
   std::atomic<State*> active_;
   std::atomic<std::uint64_t> version_{1};
 };

@@ -32,7 +32,7 @@ QuotaHierarchy::Config base_config(BackendSpec parent,
 // Drains a bucket one token at a time from a quiescent state.
 std::uint64_t drain(NetTokenBucket& bucket) {
   std::uint64_t total = 0;
-  while (bucket.consume(0, 1, /*allow_partial=*/true) == 1) ++total;
+  while (bucket.consume(0, 1, kPartialOk) == 1) ++total;
   return total;
 }
 

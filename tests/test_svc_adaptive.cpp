@@ -141,7 +141,7 @@ TEST(AdaptiveCounter, RefundStormDoesNotFeedTheSwitchProbe) {
   NetTokenBucket bucket(std::move(counter), {.initial_tokens = 5});
   const std::uint64_t base = adaptive->stats().ops();  // the initial refill
   for (int i = 0; i < 100; ++i) {
-    EXPECT_EQ(bucket.consume(0, 10, /*allow_partial=*/false), 0u);
+    EXPECT_EQ(bucket.consume(0, 10, kAllOrNothing), 0u);
   }
   // Each rejected consume is charged for its take side only: a 5-token
   // grab plus the conclusive empty miss (1 op) — never the 5-token refund.
@@ -150,7 +150,7 @@ TEST(AdaptiveCounter, RefundStormDoesNotFeedTheSwitchProbe) {
       << "refund traffic leaked into the load probe";
   EXPECT_FALSE(adaptive->switched());
   // The storm moved nothing: the pool still holds exactly its 5 tokens.
-  EXPECT_EQ(bucket.consume(0, 5, /*allow_partial=*/false), 5u);
+  EXPECT_EQ(bucket.consume(0, 5, kAllOrNothing), 5u);
 }
 
 TEST(AdaptiveCounter, RefundNReturnsTokensWithoutOpCharge) {
@@ -184,14 +184,14 @@ TEST(AdaptiveCounter, ConcurrentRefundStormKeepsTheProbeQuietUnderTsan) {
         for (int i = 0; i < kIters; ++i) {
           // Oversized all-or-nothing requests: almost every call is a
           // grab-then-refund reject.
-          admitted.fetch_add(bucket.consume(t, 8, /*allow_partial=*/false),
+          admitted.fetch_add(bucket.consume(t, 8, kAllOrNothing),
                              std::memory_order_relaxed);
         }
       });
     }
   }
   std::uint64_t drained = 0;
-  while (bucket.consume(0, 1, /*allow_partial=*/true) == 1) ++drained;
+  while (bucket.consume(0, 1, kPartialOk) == 1) ++drained;
   EXPECT_EQ(admitted.load() + drained, 3u) << "refund path lost tokens";
 }
 

@@ -24,7 +24,7 @@ NetTokenBucket make_bucket(BackendKind kind, NetTokenBucket::Config cfg) {
 // Empties the bucket from a quiescent state and returns the token count.
 std::uint64_t drain(NetTokenBucket& bucket) {
   std::uint64_t total = 0;
-  while (bucket.consume(0, 1, /*allow_partial=*/true) == 1) ++total;
+  while (bucket.consume(0, 1, kPartialOk) == 1) ++total;
   return total;
 }
 
@@ -33,14 +33,14 @@ class BucketBackends : public ::testing::TestWithParam<BackendKind> {};
 TEST_P(BucketBackends, SequentialConsumeSemantics) {
   auto bucket = make_bucket(GetParam(), {.initial_tokens = 10});
   // All-or-nothing: a request larger than the pool consumes nothing.
-  EXPECT_EQ(bucket.consume(0, 3, false), 3u);
-  EXPECT_EQ(bucket.consume(1, 20, false), 0u);
-  EXPECT_EQ(bucket.consume(2, 7, false), 7u);  // the 20 left the pool intact
-  EXPECT_EQ(bucket.consume(3, 1, true), 0u);   // empty
+  EXPECT_EQ(bucket.consume(0, 3, kAllOrNothing), 3u);
+  EXPECT_EQ(bucket.consume(1, 20, kAllOrNothing), 0u);
+  EXPECT_EQ(bucket.consume(2, 7, kAllOrNothing), 7u);  // the 20 left the pool intact
+  EXPECT_EQ(bucket.consume(3, 1, kPartialOk), 0u);   // empty
   // Partial: a short pool yields what it has.
   bucket.refill(0, 5);
-  EXPECT_EQ(bucket.consume(4, 3, true), 3u);
-  EXPECT_EQ(bucket.consume(5, 9, true), 2u);
+  EXPECT_EQ(bucket.consume(4, 3, kPartialOk), 3u);
+  EXPECT_EQ(bucket.consume(5, 9, kPartialOk), 2u);
   EXPECT_EQ(drain(bucket), 0u);
 }
 
@@ -67,8 +67,8 @@ TEST_P(BucketBackends, NeverOverAdmitsUnderConcurrency) {
       threads.emplace_back([&, t] {  // consumers (hints 1..)
         while (!stop.load(std::memory_order_relaxed)) {
           const std::uint64_t want = 1 + (per_thread[t] % 4);
-          const std::uint64_t got =
-              bucket.consume(t + 1, want, (t % 2 == 0));
+          const std::uint64_t got = bucket.consume(
+              t + 1, want, (t % 2 == 0) ? kPartialOk : kAllOrNothing);
           if (got != 0) {
             admitted.fetch_add(got);
             per_thread[t] += got;
@@ -114,7 +114,7 @@ TEST_P(BucketBackends, AllOrNothingGrabsAreMultiplesOfCost) {
     for (std::size_t t = 0; t < grabs.size(); ++t) {
       threads.emplace_back([&, t] {
         for (int i = 0; i < 200; ++i) {
-          const std::uint64_t got = bucket.consume(t, kCost, false);
+          const std::uint64_t got = bucket.consume(t, kCost, kAllOrNothing);
           EXPECT_TRUE(got == 0 || got == kCost);
           grabs[t] += got;
         }
@@ -144,14 +144,14 @@ TEST_P(BucketSpecs, ZeroTokenConsumeIsATrivialNoOp) {
   // pool.
   NetTokenBucket bucket(make_counter(GetParam()), {.initial_tokens = 4});
   const std::uint64_t traversals_before = bucket.pool().traversal_count();
-  EXPECT_EQ(bucket.consume(0, 0, /*allow_partial=*/false), 0u);
-  EXPECT_EQ(bucket.consume(1, 0, /*allow_partial=*/true), 0u);
+  EXPECT_EQ(bucket.consume(0, 0, kAllOrNothing), 0u);
+  EXPECT_EQ(bucket.consume(1, 0, kPartialOk), 0u);
   EXPECT_EQ(bucket.pool().traversal_count(), traversals_before)
       << "a zero-token consume reached the backend";
   EXPECT_EQ(drain(bucket), 4u);  // the pool is untouched
   // ... and on the now-empty pool as well.
-  EXPECT_EQ(bucket.consume(0, 0, /*allow_partial=*/false), 0u);
-  EXPECT_EQ(bucket.consume(0, 0, /*allow_partial=*/true), 0u);
+  EXPECT_EQ(bucket.consume(0, 0, kAllOrNothing), 0u);
+  EXPECT_EQ(bucket.consume(0, 0, kPartialOk), 0u);
 }
 
 TEST_P(BucketSpecs, ShortfallRefundConservesThePool) {
@@ -160,7 +160,7 @@ TEST_P(BucketSpecs, ShortfallRefundConservesThePool) {
   // the pool bit-exact.
   NetTokenBucket bucket(make_counter(GetParam()), {.initial_tokens = 7});
   for (int i = 0; i < 50; ++i) {
-    EXPECT_EQ(bucket.consume(i % 4, 100, /*allow_partial=*/false), 0u);
+    EXPECT_EQ(bucket.consume(i % 4, 100, kAllOrNothing), 0u);
   }
   EXPECT_EQ(drain(bucket), 7u) << "the refund path minted or lost tokens";
 }
@@ -183,8 +183,8 @@ class NoTakebackCounter final : public rt::Counter {
 TEST(NetTokenBucket, BackendWithoutTakebackNeverAdmits) {
   NetTokenBucket bucket(std::make_unique<NoTakebackCounter>(),
                         {.initial_tokens = 50});
-  EXPECT_EQ(bucket.consume(0, 1, true), 0u);
-  EXPECT_EQ(bucket.consume(1, 5, false), 0u);
+  EXPECT_EQ(bucket.consume(0, 1, kPartialOk), 0u);
+  EXPECT_EQ(bucket.consume(1, 5, kAllOrNothing), 0u);
 }
 
 TEST(NetTokenBucket, RejectsBadConfiguration) {

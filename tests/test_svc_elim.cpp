@@ -138,6 +138,42 @@ TEST(BackendSpec, ParsesAndRoundTrips) {
   EXPECT_FALSE(parse_backend_spec("bogus").has_value());
 }
 
+TEST(BackendSpec, ParseFailuresNameTheReason) {
+  // A successful parse carries no error text.
+  EXPECT_TRUE(parse_backend_spec("network").error.empty());
+
+  // A bare prefix is its own failure mode, not an "unknown kind".
+  const auto bare = parse_backend_spec("elim+");
+  ASSERT_FALSE(bare.has_value());
+  EXPECT_NE(bare.error.find("bare \"elim+\" prefix"), std::string::npos)
+      << bare.error;
+
+  // Unknown kinds list what IS known, so a typo'd flag is self-correcting.
+  const auto unknown = parse_backend_spec("bogus");
+  ASSERT_FALSE(unknown.has_value());
+  EXPECT_NE(unknown.error.find("unknown backend kind \"bogus\""),
+            std::string::npos)
+      << unknown.error;
+  EXPECT_NE(unknown.error.find("batched-network"), std::string::npos)
+      << "the known-kinds list should appear in: " << unknown.error;
+
+  // The prefix survives into the unknown-kind diagnosis.
+  const auto prefixed = parse_backend_spec("elim+bogus");
+  ASSERT_FALSE(prefixed.has_value());
+  EXPECT_NE(prefixed.error.find("unknown backend kind \"bogus\""),
+            std::string::npos)
+      << prefixed.error;
+
+  // A valid kind with junk appended is called out as trailing garbage
+  // rather than lumped in with unknown kinds.
+  const auto trailing = parse_backend_spec("central-atomicx");
+  ASSERT_FALSE(trailing.has_value());
+  EXPECT_NE(trailing.error.find("trailing garbage \"x\""), std::string::npos)
+      << trailing.error;
+  EXPECT_NE(trailing.error.find("\"central-atomic\""), std::string::npos)
+      << trailing.error;
+}
+
 TEST(BackendSpec, FactoryComposesTheDecorator) {
   const auto counter =
       make_counter(BackendSpec{BackendKind::kCentralAtomic, true});

@@ -34,7 +34,7 @@ GaugeMonitor* add_gauge(OverloadManager& mgr, const std::string& name,
 
 std::uint64_t drain(NetTokenBucket& bucket) {
   std::uint64_t total = 0;
-  while (bucket.consume(0, 1, /*allow_partial=*/true) == 1) ++total;
+  while (bucket.consume(0, 1, kPartialOk) == 1) ++total;
   return total;
 }
 

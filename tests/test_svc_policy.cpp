@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cnet/dist/policy.hpp"
 #include "cnet/svc/policy.hpp"
 
 namespace cnet::svc {
@@ -66,7 +67,7 @@ TEST(BucketPolicy, PartialGrabAllowed) {
     return got;
   };
   const auto put = [&](std::uint64_t n) { refunds += n; };
-  EXPECT_EQ(bucket_consume(16, /*allow_partial=*/true, take, put), 10u);
+  EXPECT_EQ(bucket_consume(16, kPartialOk, take, put), 10u);
   EXPECT_EQ(pool, 0u);
   EXPECT_EQ(refunds, 0u);
 }
@@ -80,8 +81,8 @@ TEST(BucketPolicy, ZeroTokensIsADefinedNoOp) {
     return 0;
   };
   const auto put = [&](std::uint64_t) { ++puts; };
-  EXPECT_EQ(bucket_consume(0, /*allow_partial=*/false, take, put), 0u);
-  EXPECT_EQ(bucket_consume(0, /*allow_partial=*/true, take, put), 0u);
+  EXPECT_EQ(bucket_consume(0, kAllOrNothing, take, put), 0u);
+  EXPECT_EQ(bucket_consume(0, kPartialOk, take, put), 0u);
   EXPECT_EQ(takes, 0u);
   EXPECT_EQ(puts, 0u);
 }
@@ -96,15 +97,15 @@ TEST(BucketPolicy, AllOrNothingRefundsTheShortfall) {
   };
   const auto put = [&](std::uint64_t n) { refunds += n; };
   // Short pool, no partial: the grab is refunded and nothing is consumed.
-  EXPECT_EQ(bucket_consume(16, /*allow_partial=*/false, take, put), 0u);
+  EXPECT_EQ(bucket_consume(16, kAllOrNothing, take, put), 0u);
   EXPECT_EQ(refunds, 10u);
   // Exact-fit all-or-nothing succeeds without a refund.
   pool = 16;
   refunds = 0;
-  EXPECT_EQ(bucket_consume(16, /*allow_partial=*/false, take, put), 16u);
+  EXPECT_EQ(bucket_consume(16, kAllOrNothing, take, put), 16u);
   EXPECT_EQ(refunds, 0u);
   // An observably empty pool consumes nothing and refunds nothing.
-  EXPECT_EQ(bucket_consume(4, /*allow_partial=*/false, take, put), 0u);
+  EXPECT_EQ(bucket_consume(4, kAllOrNothing, take, put), 0u);
   EXPECT_EQ(refunds, 0u);
 }
 
@@ -146,7 +147,7 @@ struct PlanHarness {
   std::uint64_t child, parent, borrowed, limit;
   std::uint64_t reserves = 0, unreserves = 0;
 
-  QuotaGrantPlan acquire(std::uint64_t tokens, bool allow_partial = false) {
+  QuotaGrantPlan acquire(std::uint64_t tokens, ConsumeOptions opts = {}) {
     return quota_acquire(
         tokens,
         [&](std::uint64_t n) {
@@ -170,7 +171,7 @@ struct PlanHarness {
           return got;
         },
         [&](std::uint64_t n) { child += n; },
-        [&](std::uint64_t n) { parent += n; }, allow_partial);
+        [&](std::uint64_t n) { parent += n; }, opts);
   }
 };
 
@@ -218,12 +219,12 @@ TEST(QuotaPolicy, AcquireZeroAdmitsWithoutTouchingAnything) {
 }
 
 TEST(QuotaPolicy, DegradedAcquireAdmitsShortWithExactParts) {
-  // The same short-parent shape that rejects above: under allow_partial
+  // The same short-parent shape that rejects above: under partial_ok
   // (the kDegradePartial action) it admits with exactly what both levels
   // yielded, and the reservation headroom the parent could not cover is
   // returned so outstanding borrow == from_parent.
   PlanHarness h{.child = 1, .parent = 2, .borrowed = 0, .limit = 8};
-  const auto plan = h.acquire(5, /*allow_partial=*/true);
+  const auto plan = h.acquire(5, kPartialOk);
   EXPECT_TRUE(plan.admitted);
   EXPECT_EQ(plan.from_child, 1u);
   EXPECT_EQ(plan.from_parent, 2u);
@@ -237,7 +238,7 @@ TEST(QuotaPolicy, DegradedAcquireAcceptsAPartialReservation) {
   // Shortfall 6 against headroom 2: all-or-nothing would reject without
   // touching the parent; degrade borrows just the allowance.
   PlanHarness h{.child = 2, .parent = 10, .borrowed = 3, .limit = 5};
-  const auto plan = h.acquire(8, /*allow_partial=*/true);
+  const auto plan = h.acquire(8, kPartialOk);
   EXPECT_TRUE(plan.admitted);
   EXPECT_EQ(plan.from_child, 2u);
   EXPECT_EQ(plan.from_parent, 2u);
@@ -386,6 +387,81 @@ TEST(OverloadPolicy, ShedSetPicksLowWeightsAndNeverShedsEveryone) {
   EXPECT_TRUE(shed_set({7}, 0.9).empty());
   EXPECT_TRUE(shed_set({3, 4}, 0.0).empty());
   EXPECT_TRUE(shed_set({}, 0.5).empty());
+}
+
+TEST(DistPolicy, LeaseGrantCoarsensSmallWantsAndCapsLargeOnes) {
+  // want below the chunk rounds up to a full chunk; zero means "top up".
+  EXPECT_EQ(dist::lease_grant(0, 96, 384), 96u);
+  EXPECT_EQ(dist::lease_grant(40, 96, 384), 96u);
+  // want above the chunk is honored exactly, until the per-node cap.
+  EXPECT_EQ(dist::lease_grant(200, 96, 384), 200u);
+  EXPECT_EQ(dist::lease_grant(500, 96, 384), 384u);
+  // A cap below the chunk wins: the cap is the hard per-lease bound.
+  EXPECT_EQ(dist::lease_grant(0, 96, 64), 64u);
+}
+
+TEST(DistPolicy, ExpiryRefundIsParentFirstAndAlwaysSumsToRecovered) {
+  // Spend attributes child-first, so recovery refunds parent-first: all 30
+  // spent tokens came from the child part here.
+  const auto r = dist::lease_expiry_refund(50, 50, 70);
+  EXPECT_EQ(r.refund_child, 20u);
+  EXPECT_EQ(r.refund_parent, 50u);
+  // Fully recovered: both parts go home whole.
+  const auto whole = dist::lease_expiry_refund(50, 50, 100);
+  EXPECT_EQ(whole.refund_child, 50u);
+  EXPECT_EQ(whole.refund_parent, 50u);
+  // Fully spent: nothing to refund.
+  const auto spent = dist::lease_expiry_refund(50, 50, 0);
+  EXPECT_EQ(spent.refund_child + spent.refund_parent, 0u);
+  // Over-recovery (corrupt caller) is capped at the grant total.
+  const auto capped = dist::lease_expiry_refund(50, 50, 999);
+  EXPECT_EQ(capped.refund_child + capped.refund_parent, 100u);
+  // Exhaustive small sweep: the split never loses a token.
+  for (std::uint64_t fc = 0; fc <= 5; ++fc) {
+    for (std::uint64_t fp = 0; fp <= 5; ++fp) {
+      for (std::uint64_t rec = 0; rec <= fc + fp; ++rec) {
+        const auto s = dist::lease_expiry_refund(fc, fp, rec);
+        EXPECT_EQ(s.refund_child + s.refund_parent, rec);
+        EXPECT_LE(s.refund_child, fc);
+        EXPECT_LE(s.refund_parent, fp);
+      }
+    }
+  }
+}
+
+TEST(DistPolicy, DebtReconcileAndSurplusClampAtTheirBounds) {
+  EXPECT_EQ(dist::debt_reconcile(1000, 192), 192u);
+  EXPECT_EQ(dist::debt_reconcile(100, 192), 100u);
+  EXPECT_EQ(dist::debt_reconcile(0, 192), 0u);
+  // The reserve is inviolable: at or below it a peer donates nothing.
+  EXPECT_EQ(dist::peer_surplus(100, 24), 76u);
+  EXPECT_EQ(dist::peer_surplus(24, 24), 0u);
+  EXPECT_EQ(dist::peer_surplus(0, 24), 0u);
+}
+
+TEST(DistPolicy, LeaseCarveTakesChildFirstAndNeverOverdraws) {
+  const auto both = dist::lease_carve(70, 50, 50);
+  EXPECT_EQ(both.from_child, 50u);
+  EXPECT_EQ(both.from_parent, 20u);
+  EXPECT_EQ(both.tokens(), 70u);
+  const auto child_only = dist::lease_carve(30, 50, 50);
+  EXPECT_EQ(child_only.from_child, 30u);
+  EXPECT_EQ(child_only.from_parent, 0u);
+  // A want beyond both parts carves everything available, no more.
+  const auto all = dist::lease_carve(999, 50, 50);
+  EXPECT_EQ(all.tokens(), 100u);
+}
+
+TEST(DistPolicy, RenewalTargetWalksNearestFirstThenGoesGlobal) {
+  // 0|1 share a rack, 2|3 share a rack in the other dc.
+  const dist::Topology topo({{0, 0}, {0, 0}, {1, 0}, {1, 0}});
+  ASSERT_TRUE(dist::renewal_target(topo, 0, 0).has_value());
+  EXPECT_EQ(*dist::renewal_target(topo, 0, 0), 1u);  // rack-mate first
+  // The remaining peers follow (remote dc, both nodes), then the walk
+  // ends: nullopt is the "ask the global hierarchy yourself" signal.
+  EXPECT_TRUE(dist::renewal_target(topo, 0, 1).has_value());
+  EXPECT_TRUE(dist::renewal_target(topo, 0, 2).has_value());
+  EXPECT_FALSE(dist::renewal_target(topo, 0, 3).has_value());
 }
 
 }  // namespace

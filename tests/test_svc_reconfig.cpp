@@ -86,7 +86,7 @@ std::vector<BackendSpec> respec_sweep_specs() {
 
 std::uint64_t drain(NetTokenBucket& bucket) {
   std::uint64_t total = 0, got = 0;
-  while ((got = bucket.consume(0, 64, /*allow_partial=*/true)) != 0) {
+  while ((got = bucket.consume(0, 64, kPartialOk)) != 0) {
     total += got;
   }
   return total;
@@ -96,7 +96,7 @@ TEST(BucketRespec, MigratesTheRemainingCountExactlyAcrossEverySpec) {
   NetTokenBucket bucket(
       make_counter(BackendSpec{BackendKind::kCentralAtomic, false}),
       NetTokenBucket::Config{/*initial_tokens=*/1000, /*refill_chunk=*/64});
-  ASSERT_EQ(bucket.consume(0, 300, /*allow_partial=*/false), 300u);
+  ASSERT_EQ(bucket.consume(0, 300, kAllOrNothing), 300u);
   std::uint64_t version = 1;
   for (const BackendSpec& spec : respec_sweep_specs()) {
     EXPECT_EQ(bucket.respec(0, {spec, BackendConfig{}, 32}), ++version)
@@ -106,7 +106,7 @@ TEST(BucketRespec, MigratesTheRemainingCountExactlyAcrossEverySpec) {
   }
   // 1000 - 300 survived every hop, bit-exact.
   EXPECT_EQ(drain(bucket), 700u);
-  EXPECT_EQ(bucket.consume(0, 1, /*allow_partial=*/true), 0u);
+  EXPECT_EQ(bucket.consume(0, 1, kPartialOk), 0u);
 }
 
 TEST(BucketRespec, RejectsAnOutOfRangeChunk) {
@@ -245,7 +245,7 @@ TEST(QuotaReweigh, InFlightGrantsStayReleaseExactUnderAShrunkenLimit) {
   EXPECT_EQ(quota.borrowed(1), 0u);
   // Parent pool conserved exactly: everything released went back.
   std::uint64_t total = 0, got = 0;
-  while ((got = quota.parent().consume(0, 64, true)) != 0) total += got;
+  while ((got = quota.parent().consume(0, 64, kPartialOk)) != 0) total += got;
   EXPECT_EQ(total, 100u);
 }
 
@@ -273,9 +273,9 @@ TEST(ReconfigHammer, BucketConservesTokensUnderConcurrentRespecs) {
       for (std::uint64_t i = 0; i < kRounds; ++i) {
         bucket.refill(w, 3);
         refilled.fetch_add(3, std::memory_order_relaxed);
-        consumed.fetch_add(bucket.consume(w, 2, /*allow_partial=*/true),
+        consumed.fetch_add(bucket.consume(w, 2, kPartialOk),
                            std::memory_order_relaxed);
-        consumed.fetch_add(bucket.consume(w, 5, /*allow_partial=*/false),
+        consumed.fetch_add(bucket.consume(w, 5, kAllOrNothing),
                            std::memory_order_relaxed);
       }
     });
@@ -351,11 +351,11 @@ TEST(ReconfigHammer, QuotaStaysReleaseExactUnderConcurrentReweighs) {
     EXPECT_EQ(quota.borrowed(t), 0u) << "tenant " << t;
     // Child pool conserved: initial tokens all came home.
     std::uint64_t total = 0, got = 0;
-    while ((got = quota.child(t).consume(t, 16, true)) != 0) total += got;
+    while ((got = quota.child(t).consume(t, 16, kPartialOk)) != 0) total += got;
     EXPECT_EQ(total, 10u) << "tenant " << t;
   }
   std::uint64_t parent_total = 0, got = 0;
-  while ((got = quota.parent().consume(0, 64, true)) != 0) {
+  while ((got = quota.parent().consume(0, 64, kPartialOk)) != 0) {
     parent_total += got;
   }
   EXPECT_EQ(parent_total, 200u);
