@@ -85,9 +85,9 @@ std::uint64_t PeerCluster::donate(std::size_t thread_hint, std::size_t donor,
   NodeState& from = node_state(donor);
   NodeState& dest = node_state(to);
   if (from.partitioned.load(std::memory_order_acquire)) return 0;
-  // Both ledgers lock together (scoped_lock's deadlock-avoiding order);
+  // Both ledgers lock together (std::lock's deadlock-avoiding order);
   // the carve and the recipient's new lease records are one atomic step.
-  const std::scoped_lock lock(from.ledger, dest.ledger);
+  const util::DualMutexLock lock(from.ledger, dest.ledger);
   // A donation moves *leased* tokens only: every donated token keeps its
   // hierarchy grant parts, so its eventual expiry still settles against
   // the donor's account exactly. Surplus above the reserve is the shared
@@ -152,7 +152,7 @@ std::uint64_t PeerCluster::renew(std::size_t thread_hint, std::size_t node,
     // The heartbeat half: extend every active lease. The settled flag is
     // the exactly-once guard — a lease the expiry sweep already settled
     // (possibly racing this renewal on another thread) is never revived.
-    const std::lock_guard<std::mutex> lock(ns.ledger);
+    const util::MutexLock lock(ns.ledger);
     for (Lease& lease : ns.leases) {
       if (!lease.settled) lease.expiry = std::max(lease.expiry, fresh_expiry);
     }
@@ -176,7 +176,7 @@ std::uint64_t PeerCluster::renew(std::size_t thread_hint, std::size_t node,
       ns.local->refill(thread_hint, grant.tokens());
       ns.balance.fetch_add(static_cast<std::int64_t>(grant.tokens()),
                            std::memory_order_relaxed);
-      const std::lock_guard<std::mutex> lock(ns.ledger);
+      const util::MutexLock lock(ns.ledger);
       ns.leases.push_back(Lease{grant, fresh_expiry, false});
       gained += grant.tokens();
     }
@@ -185,8 +185,9 @@ std::uint64_t PeerCluster::renew(std::size_t thread_hint, std::size_t node,
   return gained;
 }
 
-void PeerCluster::refund_expired(std::size_t thread_hint, const Lease& lease,
-                                 std::uint64_t recovered) {
+void PeerCluster::refund_expired(std::size_t thread_hint, NodeState& ns,
+                                 const Lease& lease, std::uint64_t recovered) {
+  static_cast<void>(ns);  // present for the CNET_REQUIRES(ns.ledger) capability
   const ExpiryRefund split = lease_expiry_refund(
       lease.grant.from_child, lease.grant.from_parent, recovered);
   global_->settle_spent(thread_hint, lease.grant, split.refund_child,
@@ -203,7 +204,7 @@ void PeerCluster::advance(std::size_t thread_hint, std::uint64_t now) {
   const std::uint64_t sweep_at = now_.load(std::memory_order_acquire);
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     NodeState& ns = *nodes_[i];
-    const std::lock_guard<std::mutex> lock(ns.ledger);
+    const util::MutexLock lock(ns.ledger);
     const bool partitioned = ns.partitioned.load(std::memory_order_acquire);
     for (Lease& lease : ns.leases) {
       if (lease.settled || lease.expiry > sweep_at) continue;
@@ -224,7 +225,7 @@ void PeerCluster::advance(std::size_t thread_hint, std::uint64_t now) {
         ns.debt_escrow += recovered;
         debt_created_.fetch_add(recovered, std::memory_order_relaxed);
       } else {
-        refund_expired(thread_hint, lease, recovered);
+        refund_expired(thread_hint, ns, lease, recovered);
       }
     }
     ns.leases.erase(
@@ -264,7 +265,7 @@ std::uint64_t PeerCluster::reconcile_step(std::size_t thread_hint,
 
 void PeerCluster::heal(std::size_t thread_hint, std::size_t node) {
   NodeState& ns = node_state(node);
-  const std::lock_guard<std::mutex> lock(ns.ledger);
+  const util::MutexLock lock(ns.ledger);
   ns.partitioned.store(false, std::memory_order_release);
   while (!ns.debts.empty()) reconcile_step(thread_hint, ns);
   CNET_ENSURE(ns.debt_escrow == 0, "healed node left escrowed debt");
@@ -280,7 +281,7 @@ bool PeerCluster::is_partitioned(std::size_t node) const {
 void PeerCluster::expire_all(std::size_t thread_hint) {
   // Force every active lease's expiry to "now", then run a normal sweep.
   for (auto& ns : nodes_) {
-    const std::lock_guard<std::mutex> lock(ns->ledger);
+    const util::MutexLock lock(ns->ledger);
     const std::uint64_t current = now_.load(std::memory_order_acquire);
     for (Lease& lease : ns->leases) {
       if (!lease.settled) lease.expiry = current;
@@ -324,7 +325,7 @@ std::int64_t PeerCluster::local_balance(std::size_t node) const {
 
 std::uint64_t PeerCluster::leased_tokens(std::size_t node) const {
   NodeState& ns = node_state(node);
-  const std::lock_guard<std::mutex> lock(ns.ledger);
+  const util::MutexLock lock(ns.ledger);
   std::uint64_t total = 0;
   for (const Lease& lease : ns.leases) {
     if (!lease.settled) total += lease.grant.tokens();
@@ -334,7 +335,7 @@ std::uint64_t PeerCluster::leased_tokens(std::size_t node) const {
 
 std::uint64_t PeerCluster::active_leases(std::size_t node) const {
   NodeState& ns = node_state(node);
-  const std::lock_guard<std::mutex> lock(ns.ledger);
+  const util::MutexLock lock(ns.ledger);
   std::uint64_t count = 0;
   for (const Lease& lease : ns.leases) {
     if (!lease.settled) ++count;
@@ -344,7 +345,7 @@ std::uint64_t PeerCluster::active_leases(std::size_t node) const {
 
 std::uint64_t PeerCluster::debt_tokens(std::size_t node) const {
   NodeState& ns = node_state(node);
-  const std::lock_guard<std::mutex> lock(ns.ledger);
+  const util::MutexLock lock(ns.ledger);
   return ns.debt_escrow;
 }
 

@@ -48,7 +48,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "cnet/dist/policy.hpp"
@@ -56,6 +55,8 @@
 #include "cnet/svc/backend.hpp"
 #include "cnet/svc/overload.hpp"
 #include "cnet/svc/quota.hpp"
+#include "cnet/util/mutex.hpp"
+#include "cnet/util/thread_annotations.hpp"
 
 namespace cnet::dist {
 
@@ -185,10 +186,14 @@ class PeerCluster {
   struct NodeState {
     std::unique_ptr<svc::NetTokenBucket> local;
     std::unique_ptr<svc::OverloadManager> overload;
-    mutable std::mutex ledger;  // leases, debts, debt_escrow
-    std::vector<Lease> leases;
-    std::deque<Debt> debts;
-    std::uint64_t debt_escrow = 0;
+    // The lease/debt ledger mutex. Everything the exactly-once settlement
+    // argument rests on — the settled flags, the escrowed debts, the
+    // escrow balance — is annotated against it, so "discipline in prose"
+    // is now a compile error under -Wthread-safety.
+    mutable util::Mutex ledger;
+    std::vector<Lease> leases CNET_GUARDED_BY(ledger);
+    std::deque<Debt> debts CNET_GUARDED_BY(ledger);
+    std::uint64_t debt_escrow CNET_GUARDED_BY(ledger) = 0;
     std::atomic<bool> partitioned{false};
     std::atomic<std::int64_t> balance{0};  // advisory local-pool ledger
     std::atomic<std::uint64_t> spent{0};
@@ -196,12 +201,15 @@ class PeerCluster {
   };
 
   NodeState& node_state(std::size_t node) const;
-  // Settles one lease against the hierarchy (caller holds the ledger lock
-  // and has already marked it settled and recovered the tokens).
-  void refund_expired(std::size_t thread_hint, const Lease& lease,
-                      std::uint64_t recovered);
+  // Settles one lease against the hierarchy. The caller holds ns's ledger
+  // lock and has already marked the lease settled and recovered the
+  // tokens — enforced, not assumed: ns is passed for the capability.
+  void refund_expired(std::size_t thread_hint, NodeState& ns,
+                      const Lease& lease, std::uint64_t recovered)
+      CNET_REQUIRES(ns.ledger);
   // One bounded batch of debt reconciliation; returns tokens settled.
-  std::uint64_t reconcile_step(std::size_t thread_hint, NodeState& ns);
+  std::uint64_t reconcile_step(std::size_t thread_hint, NodeState& ns)
+      CNET_REQUIRES(ns.ledger);
   std::uint64_t donate(std::size_t thread_hint, std::size_t donor,
                        std::size_t to, std::uint64_t want);
 

@@ -4,11 +4,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 
 #include "cnet/runtime/counter.hpp"
 #include "cnet/util/cacheline.hpp"
+#include "cnet/util/mutex.hpp"
 #include "cnet/util/stall_slots.hpp"
+#include "cnet/util/thread_annotations.hpp"
 
 namespace cnet::rt {
 
@@ -52,12 +53,12 @@ class CasCounter final : public Counter {
 class MutexCounter final : public Counter {
  public:
   std::int64_t fetch_increment(std::size_t) override {
-    const std::scoped_lock lock(mu_);
+    const util::MutexLock lock(mu_);
     return value_++;
   }
   bool try_fetch_decrement(std::size_t,
                            std::int64_t* reclaimed = nullptr) override {
-    const std::scoped_lock lock(mu_);
+    const util::MutexLock lock(mu_);
     if (value_ <= 0) return false;
     --value_;
     if (reclaimed != nullptr) *reclaimed = value_;
@@ -65,7 +66,7 @@ class MutexCounter final : public Counter {
   }
   std::uint64_t try_fetch_decrement_n(std::size_t,
                                       std::uint64_t n) override {
-    const std::scoped_lock lock(mu_);
+    const util::MutexLock lock(mu_);
     const auto m = std::min<std::uint64_t>(
         n, value_ > 0 ? static_cast<std::uint64_t>(value_) : 0);
     value_ -= static_cast<std::int64_t>(m);
@@ -74,8 +75,8 @@ class MutexCounter final : public Counter {
   std::string name() const override { return "central-mutex"; }
 
  private:
-  std::mutex mu_;
-  std::int64_t value_ = 0;
+  util::Mutex mu_;
+  std::int64_t value_ CNET_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cnet::rt

@@ -90,14 +90,19 @@ OverloadManager::OverloadManager(const OverloadConfig& cfg) : cfg_(cfg) {
 LoadMonitor& OverloadManager::add_monitor(
     std::unique_ptr<LoadMonitor> monitor) {
   CNET_REQUIRE(monitor != nullptr, "null monitor");
+  LoadMonitor* const stored = monitor.get();
+  // Registry and pressure vector mutate together under the mutex: a
+  // concurrent evaluate() samples either the pre- or post-registration
+  // registry, never a torn pair. (The registry itself used to be pushed
+  // outside the lock — a racing sampler could walk a vector mid-growth.)
+  const util::MutexLock lock(mutex_);
   for (const auto& existing : monitors_) {
-    CNET_REQUIRE(existing->name() != monitor->name(),
-                 "duplicate load-monitor name: " + monitor->name());
+    CNET_REQUIRE(existing->name() != stored->name(),
+                 "duplicate load-monitor name: " + stored->name());
   }
   monitors_.push_back(std::move(monitor));
-  const std::lock_guard<std::mutex> lock(mutex_);
   last_pressures_.push_back(0.0);
-  return *monitors_.back();
+  return *stored;
 }
 
 void OverloadManager::govern(QuotaHierarchy& quota) {
@@ -113,10 +118,10 @@ OverloadTier OverloadManager::evaluate() {
                                            std::memory_order_acquire)) {
     return tier();  // a concurrent evaluate() is already sampling
   }
-  ++samples_;
   double combined = 0.0;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
+    ++samples_;
     for (std::size_t i = 0; i < monitors_.size(); ++i) {
       const double p = clamp_pressure(monitors_[i]->sample_pressure());
       last_pressures_[i] = p;
@@ -149,7 +154,7 @@ void OverloadManager::apply_transition(OverloadTier from, OverloadTier to,
     shed_now = shed_set(weights, cfg_.shed_fraction);
     for (const std::size_t t : shed_now) governed_->shed(t);
   }
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (governed_ != nullptr && was_shedding && !now_shedding) {
     for (const std::size_t t : shed_) governed_->restore(t);
     shed_.clear();
@@ -159,23 +164,21 @@ void OverloadManager::apply_transition(OverloadTier from, OverloadTier to,
 }
 
 double OverloadManager::pressure_of(std::string_view name) const {
+  const util::MutexLock lock(mutex_);
   for (std::size_t i = 0; i < monitors_.size(); ++i) {
-    if (monitors_[i]->name() == name) {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      return last_pressures_[i];
-    }
+    if (monitors_[i]->name() == name) return last_pressures_[i];
   }
   CNET_REQUIRE(false, "unknown monitor name: " + std::string(name));
   return 0.0;  // unreachable
 }
 
 std::vector<OverloadManager::TierChange> OverloadManager::history() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return history_;
 }
 
 std::vector<std::size_t> OverloadManager::shed_tenants() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return shed_;
 }
 

@@ -38,12 +38,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "cnet/svc/policy.hpp"
+#include "cnet/util/mutex.hpp"
+#include "cnet/util/thread_annotations.hpp"
 
 namespace cnet::svc {
 
@@ -88,9 +89,11 @@ class WindowedRateMonitor final : public LoadMonitor {
   TotalFn ops_total_;
   TotalFn events_total_;
   double saturation_rate_;
-  // Guarded by the manager's sampler claim. Primed at construction to the
-  // totals as of attachment, so the first window never spans the counters'
-  // whole pre-attachment lifetime.
+  // Touched only from sample_pressure(), which the manager calls under its
+  // registry mutex (the LoadMonitor contract above) — the discipline the
+  // manager's own CNET_GUARDED_BY fields make compiler-checked. Primed at
+  // construction to the totals as of attachment, so the first window never
+  // spans the counters' whole pre-attachment lifetime.
   std::uint64_t last_ops_ = 0;
   std::uint64_t last_events_ = 0;
 };
@@ -177,8 +180,14 @@ class OverloadManager {
   // monitors with the same name throws (a silently shadowed signal is a
   // blind spot exactly where visibility matters most). Returns the stored
   // monitor for caller-side wiring (e.g. keeping a GaugeMonitor* to set).
-  LoadMonitor& add_monitor(std::unique_ptr<LoadMonitor> monitor);
-  std::size_t num_monitors() const noexcept { return monitors_.size(); }
+  // Safe against a concurrent evaluate(): the registry is mutated under
+  // the same mutex the sampler iterates it under.
+  LoadMonitor& add_monitor(std::unique_ptr<LoadMonitor> monitor)
+      CNET_EXCLUDES(mutex_);
+  std::size_t num_monitors() const CNET_EXCLUDES(mutex_) {
+    const util::MutexLock lock(mutex_);
+    return monitors_.size();
+  }
 
   // Puts a quota hierarchy under management: the shed-tenants tier sheds
   // its lowest-weight tenants (policy shed_set, cfg.shed_fraction) with
@@ -191,7 +200,7 @@ class OverloadManager {
   // Samples every monitor, combines (max), and applies the tier rule with
   // hysteresis. Thread-safe via a claim: concurrent callers skip (the tier
   // they read is at most one sample stale). Returns the tier now in force.
-  OverloadTier evaluate();
+  OverloadTier evaluate() CNET_EXCLUDES(mutex_);
 
   // The current tier / action set, cheap enough for hot paths (one acquire
   // load; the action table is a pure function of the tier).
@@ -205,31 +214,38 @@ class OverloadManager {
   double pressure() const noexcept {
     return pressure_.load(std::memory_order_acquire);
   }
-  double pressure_of(std::string_view name) const;
+  double pressure_of(std::string_view name) const CNET_EXCLUDES(mutex_);
 
   // Every tier transition so far, in order. (Copies under a lock; meant
   // for end-of-run reporting and tests, not hot paths.)
-  std::vector<TierChange> history() const;
+  std::vector<TierChange> history() const CNET_EXCLUDES(mutex_);
   // Tenants currently shed by this manager (empty below the shed tier).
-  std::vector<std::size_t> shed_tenants() const;
+  std::vector<std::size_t> shed_tenants() const CNET_EXCLUDES(mutex_);
 
   const OverloadConfig& config() const noexcept { return cfg_; }
 
  private:
-  void apply_transition(OverloadTier from, OverloadTier to, double pressure);
+  void apply_transition(OverloadTier from, OverloadTier to, double pressure)
+      CNET_EXCLUDES(mutex_);
 
   OverloadConfig cfg_;
-  std::vector<std::unique_ptr<LoadMonitor>> monitors_;
   std::atomic<bool> evaluating_{false};
   std::atomic<std::uint8_t> tier_{0};
   std::atomic<double> pressure_{0.0};
+  // Set once by govern() before sampling traffic starts (the manager/
+  // hierarchy attachment contract); never flips between hierarchies.
   QuotaHierarchy* governed_ = nullptr;
-  std::uint64_t samples_ = 0;  // guarded by the evaluating_ claim
-  // Guarded by mutex_ (written under the claim, read from anywhere).
-  mutable std::mutex mutex_;
-  std::vector<double> last_pressures_;
-  std::vector<TierChange> history_;
-  std::vector<std::size_t> shed_;
+  // The registry mutex. Everything the sampler walks or the reporting
+  // accessors copy lives under it — including the registry itself, so a
+  // monitor registered while an evaluate() is mid-sample is either in
+  // this sample or the next, never torn. last_pressures_[i] pairs with
+  // monitors_[i].
+  mutable util::Mutex mutex_;
+  std::vector<std::unique_ptr<LoadMonitor>> monitors_ CNET_GUARDED_BY(mutex_);
+  std::vector<double> last_pressures_ CNET_GUARDED_BY(mutex_);
+  std::vector<TierChange> history_ CNET_GUARDED_BY(mutex_);
+  std::vector<std::size_t> shed_ CNET_GUARDED_BY(mutex_);
+  std::uint64_t samples_ CNET_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace cnet::svc

@@ -40,13 +40,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "cnet/util/cacheline.hpp"
 #include "cnet/util/ensure.hpp"
+#include "cnet/util/mutex.hpp"
+#include "cnet/util/thread_annotations.hpp"
 
 namespace cnet::svc {
 
@@ -119,9 +120,9 @@ class ReconfigEngine final : public Reconfigurable {
     return version_.load(std::memory_order_acquire);
   }
 
-  void subscribe(CommitCallback on_commit) override {
+  void subscribe(CommitCallback on_commit) override CNET_EXCLUDES(commit_mutex_) {
     CNET_REQUIRE(on_commit != nullptr, "null commit callback");
-    const std::lock_guard<std::mutex> lock(commit_mutex_);
+    const util::MutexLock lock(commit_mutex_);
     subscribers_.push_back(std::move(on_commit));
   }
 
@@ -131,9 +132,10 @@ class ReconfigEngine final : public Reconfigurable {
   // argument needs), retire the old state, and bump the version. Returns
   // the new version. Concurrent commits serialize; readers never wait.
   template <class Migrate>
-  std::uint64_t commit(std::unique_ptr<State> next, Migrate&& migrate) {
+  std::uint64_t commit(std::unique_ptr<State> next, Migrate&& migrate)
+      CNET_EXCLUDES(commit_mutex_) {
     CNET_REQUIRE(next != nullptr, "null staged state");
-    const std::lock_guard<std::mutex> lock(commit_mutex_);
+    const util::MutexLock lock(commit_mutex_);
     State* const fresh = next.get();
     State* const old = current_.get();
     active_.store(fresh, std::memory_order_seq_cst);
@@ -157,8 +159,8 @@ class ReconfigEngine final : public Reconfigurable {
 
   // Retired states, oldest first, for telemetry rollups. Only grows; safe
   // to call concurrently with readers but serializes against commits.
-  std::size_t num_retired() const {
-    const std::lock_guard<std::mutex> lock(commit_mutex_);
+  std::size_t num_retired() const CNET_EXCLUDES(commit_mutex_) {
+    const util::MutexLock lock(commit_mutex_);
     return retired_.size();
   }
 
@@ -166,10 +168,10 @@ class ReconfigEngine final : public Reconfigurable {
   static constexpr std::size_t kReaderSlots = 64;
 
   std::vector<util::Padded<std::atomic<std::uint64_t>>> slots_;
-  mutable std::mutex commit_mutex_;
-  std::unique_ptr<State> current_;           // guarded by commit_mutex_
-  std::vector<std::unique_ptr<State>> retired_;  // guarded by commit_mutex_
-  std::vector<CommitCallback> subscribers_;      // guarded by commit_mutex_
+  mutable util::Mutex commit_mutex_;
+  std::unique_ptr<State> current_ CNET_GUARDED_BY(commit_mutex_);
+  std::vector<std::unique_ptr<State>> retired_ CNET_GUARDED_BY(commit_mutex_);
+  std::vector<CommitCallback> subscribers_ CNET_GUARDED_BY(commit_mutex_);
   std::atomic<State*> active_;
   std::atomic<std::uint64_t> version_{1};
 };

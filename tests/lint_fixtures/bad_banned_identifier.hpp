@@ -1,0 +1,15 @@
+// Fixture: names an impure facility without including its header (the
+// include arrived transitively — the way purity actually erodes). Expected
+// violation class: banned-identifier (and only that).
+#pragma once
+
+#include <cstdint>
+
+namespace cnet::fixture {
+
+inline std::uint64_t stamp_now() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+}  // namespace cnet::fixture

@@ -1,0 +1,12 @@
+// Fixture: includes an impurity-smuggling standard header. Expected
+// violation class: banned-include (and only that).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace cnet::fixture {
+
+constexpr std::uint64_t passthrough(std::uint64_t v) noexcept { return v; }
+
+}  // namespace cnet::fixture

@@ -1,0 +1,13 @@
+// Fixture: a policy header reaching back into the impure service layer.
+// Expected violation class: impure-include (and only that).
+#pragma once
+
+#include <cstdint>
+
+#include "cnet/svc/overload.hpp"
+
+namespace cnet::fixture {
+
+constexpr std::uint64_t passthrough(std::uint64_t v) noexcept { return v; }
+
+}  // namespace cnet::fixture

@@ -1,0 +1,14 @@
+// Fixture: mutable namespace-scope state in a "pure" policy header — two
+// callers of the rule could observe each other. Expected violation class:
+// mutable-global (and only that).
+#pragma once
+
+#include <cstdint>
+
+namespace cnet::fixture {
+
+inline std::uint64_t g_rule_evaluations = 0;
+
+constexpr std::uint64_t passthrough(std::uint64_t v) noexcept { return v; }
+
+}  // namespace cnet::fixture

@@ -1,0 +1,12 @@
+// Fixture: a const-but-not-constexpr namespace-scope constant — runtime
+// initialization order hazards, and the compiler cannot fold it. Expected
+// violation class: nonconstexpr-global (and only that).
+#pragma once
+
+namespace cnet::fixture {
+
+inline const double kSmoothingFactor = 0.875;
+
+constexpr double passthrough(double v) noexcept { return v; }
+
+}  // namespace cnet::fixture

@@ -1,0 +1,30 @@
+// Fixture: a well-behaved policy header. Pure functions, a plain-data
+// struct, an inline constexpr constant — nothing check_policy_purity.py
+// should object to. Mentions of std::mutex in comments or "std::atomic"
+// in string literals must NOT fire (the scanner strips both).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace cnet::fixture {
+
+struct QuotaSplit {
+  std::uint64_t from_child = 0;
+  std::uint64_t from_parent = 0;
+};
+
+inline constexpr double kFrobCeiling = 0.75;
+
+// Margin kept free under load (values above the ceiling clamp).
+constexpr double frob_margin(double load) noexcept {
+  return std::min(load * 0.5, kFrobCeiling);
+}
+
+inline constexpr double settle_ratio(std::uint64_t settled,
+                                     std::uint64_t total) noexcept {
+  return total == 0 ? 0.0 : static_cast<double>(settled) /
+                                static_cast<double>(total);
+}
+
+}  // namespace cnet::fixture

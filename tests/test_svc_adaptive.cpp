@@ -193,6 +193,14 @@ TEST(AdaptiveCounter, ConcurrentRefundStormKeepsTheProbeQuietUnderTsan) {
   std::uint64_t drained = 0;
   while (bucket.consume(0, 1, kPartialOk) == 1) ++drained;
   EXPECT_EQ(admitted.load() + drained, 3u) << "refund path lost tokens";
+  // Take-side-only accounting: an all-or-nothing attempt is a grab (got
+  // ≤ 3 tokens exist, charging max(got, 1)) plus at most one empty
+  // follow-up call, so the take side charges at most ~4 ops per attempt;
+  // refunds charge none. The pre-fix path charged the refunded tokens
+  // again (~got more per rejecting attempt), which blows past this cap.
+  EXPECT_GT(adaptive->stats().ops(), 0u);
+  EXPECT_LE(adaptive->stats().ops(),
+            static_cast<std::uint64_t>(kThreads) * kIters * 5 + 16);
 }
 
 TEST(AdaptiveCounter, FactoryBuildsAndComposesWithElimination) {

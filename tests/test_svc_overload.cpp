@@ -348,5 +348,38 @@ TEST(OverloadManager, ConcurrentEvaluatorsAndTenantsStayConserved) {
   EXPECT_EQ(drain(quota.parent()), 24u);
 }
 
+TEST(OverloadManager, ConcurrentRegistrationRacesEvaluateSafely) {
+  // Regression: add_monitor used to push into the registry *outside* the
+  // mutex, so an evaluate() sampling on another thread could walk
+  // monitors_ mid-reallocation. Registration now mutates the registry
+  // under the same lock the sampler iterates it under (the thread-safety
+  // annotations on OverloadManager are what surfaced this); this hammer
+  // races the two so the TSan leg of CI would catch any regression.
+  OverloadManager mgr;
+  GaugeMonitor* seed = add_gauge(mgr, "seed", 100);
+  seed->set(25);
+  constexpr int kRegistrations = 200;
+  std::atomic<bool> done{false};
+  std::thread registrar([&] {
+    for (int i = 0; i < kRegistrations; ++i) {
+      add_gauge(mgr, "g" + std::to_string(i), 100)->set(50);
+    }
+    done.store(true, std::memory_order_release);
+  });
+  while (!done.load(std::memory_order_acquire)) {
+    mgr.evaluate();
+    EXPECT_GE(mgr.pressure_of("seed"), 0.0);
+    EXPECT_GE(mgr.num_monitors(), 1u);
+  }
+  registrar.join();
+
+  mgr.evaluate();
+  EXPECT_EQ(mgr.num_monitors(),
+            static_cast<std::size_t>(kRegistrations) + 1);
+  EXPECT_DOUBLE_EQ(mgr.pressure_of("seed"), 0.25);
+  EXPECT_DOUBLE_EQ(
+      mgr.pressure_of("g" + std::to_string(kRegistrations - 1)), 0.5);
+}
+
 }  // namespace
 }  // namespace cnet::svc
