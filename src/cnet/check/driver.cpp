@@ -1,0 +1,182 @@
+#include "cnet/check/driver.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cnet/util/ensure.hpp"
+
+namespace cnet::check {
+
+namespace {
+
+struct Cli {
+  bool list = false;
+  std::string scenario;  // empty = all
+  std::string replay;    // empty = explore
+  Options opts;
+};
+
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::fprintf(stderr,
+               "error: %s\n"
+               "usage: driver [--list] [--scenario NAME] [--bound N]\n"
+               "              [--max-executions N] [--replay STRING]\n",
+               msg.c_str());
+  std::exit(2);
+}
+
+Cli parse_cli(int argc, char** argv) {
+  Cli cli;
+  auto value = [&](int& i, const char* flag) -> std::string {
+    if (i + 1 >= argc) usage_error(std::string(flag) + " needs a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      cli.list = true;
+    } else if (arg == "--scenario") {
+      cli.scenario = value(i, "--scenario");
+    } else if (arg == "--replay") {
+      cli.replay = value(i, "--replay");
+    } else if (arg == "--bound") {
+      cli.opts.preemption_bound =
+          static_cast<std::size_t>(std::stoull(value(i, "--bound")));
+    } else if (arg == "--max-executions") {
+      cli.opts.max_executions = std::stoull(value(i, "--max-executions"));
+    } else {
+      usage_error("unknown flag '" + arg + "'");
+    }
+  }
+  if (!cli.replay.empty() && cli.scenario.empty()) {
+    usage_error("--replay requires --scenario");
+  }
+  return cli;
+}
+
+void print_stats(const Result& r) {
+  std::printf(
+      "    executions=%llu pruned=%llu steps=%llu max_execution_steps=%llu\n",
+      static_cast<unsigned long long>(r.executions),
+      static_cast<unsigned long long>(r.pruned),
+      static_cast<unsigned long long>(r.steps),
+      static_cast<unsigned long long>(r.max_execution_steps));
+}
+
+// One scenario, explore mode. Returns true iff the expectation was met.
+bool run_explore(const Scenario& s, const Options& opts) {
+  std::printf("[ RUN  ] %s (expect %s, bound %zu)\n", s.name.c_str(),
+              s.expect == Expect::kClean ? "clean" : "violation",
+              opts.preemption_bound);
+  std::fflush(stdout);
+  Explorer explorer(opts);
+  const Result r = explorer.explore(s.body);
+  print_stats(r);
+  if (s.expect == Expect::kClean) {
+    if (!r.failed) {
+      std::printf("[ PASS ] %s: no violation in %llu schedules\n",
+                  s.name.c_str(),
+                  static_cast<unsigned long long>(r.executions));
+      return true;
+    }
+    std::printf(
+        "[ FAIL ] %s: violation at step %llu\n"
+        "    message:  %s\n"
+        "    schedule: %s\n"
+        "    replay:   --scenario %s --replay '%s'\n",
+        s.name.c_str(), static_cast<unsigned long long>(r.failure_step),
+        r.message.c_str(), r.schedule.c_str(), s.name.c_str(),
+        r.schedule.c_str());
+    return false;
+  }
+  // Expect::kViolation: the seeded bug must be found...
+  if (!r.failed) {
+    std::printf(
+        "[ FAIL ] %s: seeded violation NOT found in %llu schedules "
+        "(checker lost its teeth)\n",
+        s.name.c_str(), static_cast<unsigned long long>(r.executions));
+    return false;
+  }
+  std::printf(
+      "    found seeded violation at step %llu after %llu schedules\n"
+      "    message:  %s\n"
+      "    schedule: %s\n",
+      static_cast<unsigned long long>(r.failure_step),
+      static_cast<unsigned long long>(r.executions), r.message.c_str(),
+      r.schedule.c_str());
+  // ...and must reproduce bit-identically from the schedule string alone.
+  Explorer replayer(opts);
+  const Result rr = replayer.replay(r.schedule, s.body);
+  if (!rr.failed || rr.message != r.message ||
+      rr.failure_step != r.failure_step) {
+    std::printf(
+        "[ FAIL ] %s: replay diverged from exploration\n"
+        "    explore: failed=1 step=%llu message='%s'\n"
+        "    replay:  failed=%d step=%llu message='%s'\n",
+        s.name.c_str(), static_cast<unsigned long long>(r.failure_step),
+        r.message.c_str(), rr.failed ? 1 : 0,
+        static_cast<unsigned long long>(rr.failure_step),
+        rr.message.c_str());
+    return false;
+  }
+  std::printf("[ PASS ] %s: violation found and replay reproduced it "
+              "bit-identically (step %llu)\n",
+              s.name.c_str(),
+              static_cast<unsigned long long>(rr.failure_step));
+  return true;
+}
+
+// One scenario, replay mode (--replay STRING).
+bool run_replay(const Scenario& s, const Options& opts,
+                const std::string& schedule) {
+  std::printf("[REPLAY] %s\n    schedule: %s\n", s.name.c_str(),
+              schedule.c_str());
+  Explorer explorer(opts);
+  const Result r = explorer.replay(schedule, s.body);
+  if (r.failed) {
+    std::printf("    violation at step %llu\n    message: %s\n",
+                static_cast<unsigned long long>(r.failure_step),
+                r.message.c_str());
+  } else {
+    std::printf("    clean execution (%llu steps)\n",
+                static_cast<unsigned long long>(r.steps));
+  }
+  const bool met = (s.expect == Expect::kViolation) == r.failed;
+  std::printf("[ %s ] %s\n", met ? "PASS" : "FAIL", s.name.c_str());
+  return met;
+}
+
+}  // namespace
+
+int run_scenarios(const std::vector<Scenario>& scenarios, int argc,
+                  char** argv) {
+  const Cli cli = parse_cli(argc, argv);
+  if (cli.list) {
+    for (const auto& s : scenarios) {
+      std::printf("%s\t%s\n", s.name.c_str(),
+                  s.expect == Expect::kClean ? "clean" : "violation");
+    }
+    return 0;
+  }
+  bool matched_any = false;
+  bool all_met = true;
+  for (const auto& s : scenarios) {
+    if (!cli.scenario.empty() && s.name != cli.scenario) continue;
+    matched_any = true;
+    const bool met = cli.replay.empty()
+                         ? run_explore(s, cli.opts)
+                         : run_replay(s, cli.opts, cli.replay);
+    all_met = all_met && met;
+    std::fflush(stdout);
+  }
+  if (!matched_any) {
+    std::fprintf(stderr, "error: no scenario named '%s'\n",
+                 cli.scenario.c_str());
+    return 2;
+  }
+  return all_met ? 0 : 1;
+}
+
+}  // namespace cnet::check

@@ -1,0 +1,46 @@
+// Shared main() for schedule-checker drivers (tests/schedcheck/check_*).
+//
+// A driver is a list of named scenarios, each a check::Body plus an
+// expectation:
+//
+//   kClean     — exploration must finish with no failure. Any violation
+//                prints the message and the replay string and fails the
+//                test; `driver --scenario <name> --replay <string>`
+//                re-executes that exact interleaving under a debugger.
+//   kViolation — the scenario *seeds* a bug (e.g. the pre-PR-9 unlocked
+//                monitor registration) and exploration must find it. The
+//                driver then immediately replays the reported schedule
+//                string and requires the failure to reproduce bit-
+//                identically (same message, same global step) — the
+//                determinism contract is re-proven on every CI run.
+//
+// Command line:
+//   --list             print scenario names and expectations, exit 0
+//   --scenario NAME    run only NAME (default: all)
+//   --bound N          preemption bound (default Options{}.preemption_bound)
+//   --max-executions N cap explored schedules per scenario
+//   --replay STRING    with --scenario: re-execute one schedule, report,
+//                      exit 0 iff the scenario's expectation is met
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cnet/check/explorer.hpp"
+
+namespace cnet::check {
+
+enum class Expect { kClean, kViolation };
+
+struct Scenario {
+  std::string name;
+  Expect expect = Expect::kClean;
+  Body body;
+};
+
+// Runs scenarios per the command line above; returns the process exit code
+// (0 = all expectations met). Output goes to stdout/stderr.
+int run_scenarios(const std::vector<Scenario>& scenarios, int argc,
+                  char** argv);
+
+}  // namespace cnet::check

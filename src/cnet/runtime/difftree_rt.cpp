@@ -1,10 +1,9 @@
 #include "cnet/runtime/difftree_rt.hpp"
 
-#include <thread>
-
 #include "cnet/util/bitops.hpp"
 #include "cnet/util/ensure.hpp"
 #include "cnet/util/prng.hpp"
+#include "cnet/util/sched_point.hpp"
 
 namespace cnet::rt {
 
@@ -31,7 +30,7 @@ int try_exchange(std::atomic<std::uint64_t>& state, std::size_t spins) {
         state.store(kEmpty, std::memory_order_release);
         return 0;
       }
-      if ((i & 15u) == 15u) std::this_thread::yield();
+      if ((i & 15u) == 15u) util::sched_yield();
     }
     expected = kWaiting;
     if (state.compare_exchange_strong(expected, kEmpty,
@@ -41,7 +40,7 @@ int try_exchange(std::atomic<std::uint64_t>& state, std::size_t spins) {
     // A partner slipped in between the timeout check and the withdrawal:
     // the state is now kPaired; complete the exchange.
     while (state.load(std::memory_order_acquire) != kPaired) {
-      std::this_thread::yield();
+      util::sched_yield();
     }
     state.store(kEmpty, std::memory_order_release);
     return 0;

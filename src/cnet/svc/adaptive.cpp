@@ -1,9 +1,9 @@
 #include "cnet/svc/adaptive.hpp"
 
 #include <algorithm>
-#include <thread>
 
 #include "cnet/util/ensure.hpp"
+#include "cnet/util/sched_point.hpp"
 
 namespace cnet::svc {
 
@@ -129,7 +129,7 @@ void AdaptiveCounter::after_ops(std::size_t thread_hint, std::uint64_t n) {
 void AdaptiveCounter::force_switch(std::size_t thread_hint) {
   do_switch(thread_hint);
   while (!switched_.load(std::memory_order_acquire)) {
-    std::this_thread::yield();  // lost the claim race: wait for the winner
+    util::sched_yield();  // lost the claim race: wait for the winner
   }
 }
 

@@ -1,9 +1,8 @@
 #include "cnet/svc/elimination.hpp"
 
-#include <thread>
-
 #include "cnet/util/ensure.hpp"
 #include "cnet/util/prng.hpp"
+#include "cnet/util/sched_point.hpp"
 
 namespace cnet::svc {
 
@@ -83,7 +82,7 @@ bool EliminationLayer::try_exchange(Role role, std::size_t thread_hint,
         *value = pair_value(slot, epoch);
         return true;
       }
-      if ((spin & 15u) == 15u) std::this_thread::yield();
+      if ((spin & 15u) == 15u) util::sched_yield();
     }
     std::uint64_t expected = pack(epoch, wait_state);
     if (slots_[slot].word.compare_exchange_strong(

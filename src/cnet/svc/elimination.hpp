@@ -21,6 +21,7 @@
 #include "cnet/runtime/counter.hpp"
 #include "cnet/svc/overload.hpp"
 #include "cnet/svc/policy.hpp"
+#include "cnet/util/atomic.hpp"
 #include "cnet/util/cacheline.hpp"
 #include "cnet/util/stall_slots.hpp"
 
@@ -80,8 +81,10 @@ class EliminationLayer {
   // pairing via the shared svc::elimination_pair_value rule, unique per
   // collision (the simulator's elimination model synthesizes the same
   // values, so model and real multisets cancel identically).
+  // util::Atomic: the catcher/waiter CAS dance on the slot word is exactly
+  // what the schedule checker explores (every load/CAS one step).
   struct alignas(util::kCacheLine) Slot {
-    std::atomic<std::uint64_t> word{0};
+    util::Atomic<std::uint64_t> word{0};
   };
 
   std::int64_t pair_value(std::size_t slot, std::uint64_t epoch) const {

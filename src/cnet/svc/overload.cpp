@@ -105,6 +105,31 @@ LoadMonitor& OverloadManager::add_monitor(
   return *stored;
 }
 
+#if defined(CNET_SCHED_CHECK)
+LoadMonitor& OverloadManager::testonly_add_monitor_unlocked(
+    std::unique_ptr<LoadMonitor> monitor) {
+  CNET_REQUIRE(monitor != nullptr, "null monitor");
+  LoadMonitor* const stored = monitor.get();
+  // Deliberately NO MutexLock here — this is the pre-PR-9 registration
+  // order the seeded-race fixture re-introduces. The registry_walkers_
+  // probes stand in for the original memory-unsafety: if an evaluate()
+  // walk can be scheduled between (or during) these two unlocked vector
+  // growths, the walk was traversing a vector mid-mutation. The probes
+  // are util::Atomic loads, so the checker can preempt at exactly the
+  // gap the real race needed. last_pressures_ grows before monitors_ so
+  // the interleaved walk stays index-safe while still being detected.
+  CNET_ENSURE(registry_walkers_.load(std::memory_order_seq_cst) == 0,
+              "unlocked monitor registration overlapped an in-progress "
+              "evaluate() registry walk (pre-PR-9 race)");
+  last_pressures_.push_back(0.0);
+  CNET_ENSURE(registry_walkers_.load(std::memory_order_seq_cst) == 0,
+              "unlocked monitor registration overlapped an in-progress "
+              "evaluate() registry walk (pre-PR-9 race)");
+  monitors_.push_back(std::move(monitor));
+  return *stored;
+}
+#endif
+
 void OverloadManager::govern(QuotaHierarchy& quota) {
   CNET_REQUIRE(governed_ == nullptr || governed_ == &quota,
                "manager already governs a different hierarchy");
@@ -122,11 +147,20 @@ OverloadTier OverloadManager::evaluate() {
   {
     const util::MutexLock lock(mutex_);
     ++samples_;
+#if defined(CNET_SCHED_CHECK)
+    // Seeded-race oracle (see testonly_add_monitor_unlocked): mark the
+    // locked walk so an unlocked registration overlapping it is a caught
+    // invariant violation instead of silent vector corruption.
+    registry_walkers_.store(1, std::memory_order_seq_cst);
+#endif
     for (std::size_t i = 0; i < monitors_.size(); ++i) {
       const double p = clamp_pressure(monitors_[i]->sample_pressure());
       last_pressures_[i] = p;
       if (p > combined) combined = p;
     }
+#if defined(CNET_SCHED_CHECK)
+    registry_walkers_.store(0, std::memory_order_seq_cst);
+#endif
   }
   const OverloadTier from = tier();
   const OverloadTier to = overload_tier(combined, from, cfg_.thresholds);

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "cnet/svc/policy.hpp"
+#include "cnet/util/atomic.hpp"
 #include "cnet/util/mutex.hpp"
 #include "cnet/util/thread_annotations.hpp"
 
@@ -189,6 +190,23 @@ class OverloadManager {
     return monitors_.size();
   }
 
+#if defined(CNET_SCHED_CHECK)
+  // TEST-ONLY SEAM for the schedule checker's seeded-race fixture: performs
+  // the registration the way the pre-PR-9 code did — mutating the registry
+  // with NO lock held — so tests/schedcheck/check_seeded_race.cpp can prove
+  // the checker rediscovers that race deterministically. In the real bug
+  // the damage was a sampler walking a vector mid-growth (memory-unsafe);
+  // here the oracle below turns the same interleaving into a clean
+  // invariant throw: the method CNET_ENSUREs that no evaluate() walk is in
+  // progress at either of its two registry mutations, and evaluate() marks
+  // its locked walk in registry_walkers_. With the correct (locked)
+  // add_monitor the mutex makes the overlap impossible; with this seam the
+  // checker finds the overlapping schedule in milliseconds. Never compiled
+  // into production builds.
+  LoadMonitor& testonly_add_monitor_unlocked(
+      std::unique_ptr<LoadMonitor> monitor);
+#endif
+
   // Puts a quota hierarchy under management: the shed-tenants tier sheds
   // its lowest-weight tenants (policy shed_set, cfg.shed_fraction) with
   // exact refund of held grant parts (QuotaHierarchy::shed), and leaving
@@ -246,6 +264,12 @@ class OverloadManager {
   std::vector<TierChange> history_ CNET_GUARDED_BY(mutex_);
   std::vector<std::size_t> shed_ CNET_GUARDED_BY(mutex_);
   std::uint64_t samples_ CNET_GUARDED_BY(mutex_) = 0;
+#if defined(CNET_SCHED_CHECK)
+  // Oracle for the seeded-race fixture: nonzero exactly while evaluate()'s
+  // locked registry walk is running. util::Atomic so both the marker
+  // stores and the seam's probes are schedulable checker steps.
+  util::Atomic<std::uint32_t> registry_walkers_{0};
+#endif
 };
 
 }  // namespace cnet::svc

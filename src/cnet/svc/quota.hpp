@@ -54,6 +54,7 @@
 #include "cnet/svc/backend.hpp"
 #include "cnet/svc/net_token_bucket.hpp"
 #include "cnet/svc/reconfig.hpp"
+#include "cnet/util/atomic.hpp"
 #include "cnet/util/cacheline.hpp"
 
 namespace cnet::svc {
@@ -193,7 +194,9 @@ class QuotaHierarchy : public Reconfigurable {
  private:
   struct alignas(util::kCacheLine) TenantState {
     std::unique_ptr<NetTokenBucket> bucket;
-    std::atomic<std::uint64_t> borrowed{0};
+    // util::Atomic: the reservation CAS loop over this word (inside a
+    // weights_ read section) is one of the schedule checker's protocols.
+    util::Atomic<std::uint64_t> borrowed{0};
     std::atomic<bool> shed{false};
   };
 

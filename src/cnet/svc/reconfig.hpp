@@ -40,13 +40,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <thread>
 #include <utility>
 #include <vector>
 
+#include "cnet/util/atomic.hpp"
 #include "cnet/util/cacheline.hpp"
 #include "cnet/util/ensure.hpp"
 #include "cnet/util/mutex.hpp"
+#include "cnet/util/sched_point.hpp"
 #include "cnet/util/thread_annotations.hpp"
 
 namespace cnet::svc {
@@ -101,7 +102,7 @@ class ReconfigEngine final : public Reconfigurable {
     slot.fetch_add(1, std::memory_order_seq_cst);
     State* active = active_.load(std::memory_order_seq_cst);
     struct Exit {
-      std::atomic<std::uint64_t>& slot;
+      util::Atomic<std::uint64_t>& slot;
       ~Exit() { slot.fetch_sub(1, std::memory_order_release); }
     } exit{slot};
     return fn(*active);
@@ -141,7 +142,11 @@ class ReconfigEngine final : public Reconfigurable {
     active_.store(fresh, std::memory_order_seq_cst);
     for (auto& slot : slots_) {
       while (slot.value.load(std::memory_order_seq_cst) != 0) {
-        std::this_thread::yield();
+        // sched_yield rather than std::this_thread::yield: under the
+        // schedule checker this unbounded wait must deschedule the
+        // committer until a reader makes a step, or the explorer's
+        // continue-current default would spin here forever.
+        util::sched_yield();
       }
     }
     migrate(*old, *fresh);
@@ -165,14 +170,24 @@ class ReconfigEngine final : public Reconfigurable {
   }
 
  private:
+  // Under the schedule checker the commit's quiescence scan reads every
+  // slot (one explored step each), so the scatter width shrinks to keep
+  // driver state spaces tractable; production keeps the full spread.
+#if defined(CNET_SCHED_CHECK)
+  static constexpr std::size_t kReaderSlots = 2;
+#else
   static constexpr std::size_t kReaderSlots = 64;
+#endif
 
-  std::vector<util::Padded<std::atomic<std::uint64_t>>> slots_;
+  // util::Atomic on the reader slots and the active pointer: the
+  // enter-RMW / publish / scan triangle *is* the protocol the checker
+  // explores — every one of those operations must be a schedulable step.
+  std::vector<util::Padded<util::Atomic<std::uint64_t>>> slots_;
   mutable util::Mutex commit_mutex_;
   std::unique_ptr<State> current_ CNET_GUARDED_BY(commit_mutex_);
   std::vector<std::unique_ptr<State>> retired_ CNET_GUARDED_BY(commit_mutex_);
   std::vector<CommitCallback> subscribers_ CNET_GUARDED_BY(commit_mutex_);
-  std::atomic<State*> active_;
+  util::Atomic<State*> active_;
   std::atomic<std::uint64_t> version_{1};
 };
 

@@ -6,27 +6,73 @@
 // be compiler-checked rather than comment-checked. Zero overhead: every
 // member is a forwarding inline call, and off clang the attributes expand
 // to nothing.
+//
+// The wrapper is also the schedule checker's lock seam (CNET_SCHED_CHECK,
+// util/sched_point.hpp): on a checker-controlled thread, lock/unlock never
+// touch the real std::mutex — kernel blocking would wedge the checker's
+// serialized thread handoff — and ownership is tracked by the controlled
+// scheduler instead, with waiters on a held mutex simply not enabled.
+// Uncontrolled threads (and every thread in a normal build) take the
+// std::mutex path unchanged.
 #pragma once
 
 #include <mutex>
+#include <utility>
 
+#include "cnet/util/sched_point.hpp"
 #include "cnet/util/thread_annotations.hpp"
 
 namespace cnet::util {
 
 class CNET_CAPABILITY("mutex") Mutex {
  public:
+#if defined(CNET_SCHED_CHECK)
+  // Registering at construction gives each mutex a per-execution sequential
+  // id; DualMutexLock orders its two acquires by it, because construction
+  // order is deterministic across the explorer's executions while heap
+  // addresses are not.
+  Mutex() {
+    if (SchedHooks* h = sched_hooks()) sched_id_ = h->mutex_created(this);
+  }
+#else
   Mutex() = default;
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() CNET_ACQUIRE() { mu_.lock(); }
-  void unlock() CNET_RELEASE() { mu_.unlock(); }
-  bool try_lock() CNET_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() CNET_ACQUIRE() {
+#if defined(CNET_SCHED_CHECK)
+    if (SchedHooks* h = sched_hooks()) {
+      h->mutex_acquire(this);
+      return;
+    }
+#endif
+    mu_.lock();
+  }
+
+  void unlock() CNET_RELEASE() {
+#if defined(CNET_SCHED_CHECK)
+    if (SchedHooks* h = sched_hooks()) {
+      h->mutex_release(this);
+      return;
+    }
+#endif
+    mu_.unlock();
+  }
+
+  bool try_lock() CNET_TRY_ACQUIRE(true) {
+#if defined(CNET_SCHED_CHECK)
+    if (SchedHooks* h = sched_hooks()) return h->mutex_try_acquire(this);
+#endif
+    return mu_.try_lock();
+  }
 
  private:
   friend class DualMutexLock;
   std::mutex mu_;
+#if defined(CNET_SCHED_CHECK)
+  std::uint64_t sched_id_ = 0;  // 0 = constructed outside any checker
+#endif
 };
 
 // RAII lock for one Mutex, the annotated std::lock_guard.
@@ -50,9 +96,32 @@ class CNET_SCOPED_CAPABILITY MutexLock {
 class CNET_SCOPED_CAPABILITY DualMutexLock {
  public:
   DualMutexLock(Mutex& a, Mutex& b) CNET_ACQUIRE(a, b) : a_(a), b_(b) {
+#if defined(CNET_SCHED_CHECK)
+    if (sched_hooks() != nullptr) {
+      // std::lock's try-and-back-off dance is opaque to the controlled
+      // scheduler; a fixed global acquisition order gives the same
+      // deadlock freedom and is deterministic across executions.
+      Mutex* lo = &a_;
+      Mutex* hi = &b_;
+      const bool ordered_ids = a_.sched_id_ != 0 && b_.sched_id_ != 0;
+      if (ordered_ids ? a_.sched_id_ > b_.sched_id_ : &a_ > &b_) {
+        std::swap(lo, hi);
+      }
+      lo->lock();
+      hi->lock();
+      return;
+    }
+#endif
     std::lock(a_.mu_, b_.mu_);
   }
   ~DualMutexLock() CNET_RELEASE() {
+#if defined(CNET_SCHED_CHECK)
+    if (sched_hooks() != nullptr) {
+      a_.unlock();
+      b_.unlock();
+      return;
+    }
+#endif
     a_.mu_.unlock();
     b_.mu_.unlock();
   }

@@ -1,0 +1,16 @@
+#include "cnet/util/sched_point.hpp"
+
+namespace cnet::util {
+
+namespace {
+// One slot per thread: a thread is controlled iff its checker installed
+// hooks here. Kept behind functions (not an inline header variable) so the
+// library owns exactly one definition regardless of how many TUs touch it.
+thread_local SchedHooks* t_hooks = nullptr;
+}  // namespace
+
+SchedHooks* sched_hooks() noexcept { return t_hooks; }
+
+void set_sched_hooks(SchedHooks* hooks) noexcept { t_hooks = hooks; }
+
+}  // namespace cnet::util

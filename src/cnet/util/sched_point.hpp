@@ -1,0 +1,109 @@
+// util::SchedPoint — the virtualization seam the systematic schedule
+// checker (cnet::check) controls the concurrency stack through.
+//
+// Under the CNET_SCHED_CHECK build option, every synchronization operation
+// the protocols perform — util::Atomic loads/stores/RMWs, util::Mutex
+// acquire/release, spin-loop yields — first announces itself at a *sched
+// point*: a call into the per-thread SchedHooks installed by the checker's
+// controlled scheduler. The scheduler serializes all controlled threads
+// (exactly one runs at a time), so each announced operation becomes one
+// atomic step in an interleaving the explorer chooses deterministically —
+// the same virtualized-sync idea as Loom's `loom::sync` shims and
+// CDSChecker's operation interception, applied to this repo's own
+// primitives.
+//
+// Three states, all zero-cost where it matters:
+//   - option off (production): the hook calls are compiled out entirely;
+//     util::Atomic<T> is a plain std::atomic<T> forwarding shim and
+//     util::Mutex locks its std::mutex directly. Byte-for-byte identical
+//     hot paths.
+//   - option on, thread not controlled: a thread_local pointer test per
+//     operation, then plain behavior. This is what normal tests see in a
+//     CNET_SCHED_CHECK build.
+//   - option on, thread controlled: every operation is a scheduling
+//     decision point owned by cnet::check::Explorer.
+//
+// The interface is deliberately tiny: util knows how to *announce*
+// operations, never how schedules are chosen. All exploration policy
+// (preemption bounds, sleep sets, replay) lives in src/cnet/check/.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+namespace cnet::util {
+
+#if defined(CNET_SCHED_CHECK)
+inline constexpr bool kSchedCheckEnabled = true;
+#else
+inline constexpr bool kSchedCheckEnabled = false;
+#endif
+
+// What a controlled thread is about to do. The checker's dependency
+// relation (for sleep-set pruning) and enabledness rules key off this.
+enum class SchedOpKind : std::uint8_t {
+  kAtomicLoad,   // read of a util::Atomic
+  kAtomicStore,  // write of a util::Atomic
+  kAtomicRmw,    // fetch_add/fetch_sub/exchange/compare_exchange
+  kMutexLock,    // blocking acquire of a util::Mutex
+  kMutexTryLock, // non-blocking acquire attempt (always enabled)
+  kMutexUnlock,  // release of a util::Mutex
+  kYield,        // spin-loop back-off: disabled until another thread steps
+  kThreadStart,  // first activation of a spawned thread (no operand yet)
+  kJoin,         // wait for every other controlled thread to finish
+};
+
+struct SchedOp {
+  SchedOpKind kind = SchedOpKind::kThreadStart;
+  // The operation's shared operand: the util::Atomic's address or the
+  // util::Mutex's identity. nullptr for thread-lifecycle operations.
+  const void* addr = nullptr;
+};
+
+// The controlled scheduler, as util sees it. Implemented by
+// cnet::check::Explorer's per-execution scheduler; installed per thread.
+//
+// Contract: sched_point() blocks until the scheduler decides the calling
+// thread performs `op` as the next global step, then returns; the caller
+// executes the real operation immediately after (still serialized — no
+// other controlled thread runs until this thread reaches its next point).
+// The mutex calls subsume both the announcement and the semantics: under
+// control the real std::mutex is never locked (kernel blocking would wedge
+// the serialized handoff); ownership is tracked by the scheduler, and
+// waiters on a held mutex are simply not enabled.
+class SchedHooks {
+ public:
+  virtual ~SchedHooks() = default;
+  virtual void sched_point(const SchedOp& op) = 0;
+  virtual void mutex_acquire(const void* mu) = 0;
+  virtual bool mutex_try_acquire(const void* mu) = 0;
+  virtual void mutex_release(const void* mu) = 0;
+  // Announces construction of a util::Mutex, returning a per-execution
+  // sequential id used for deterministic multi-lock ordering (heap
+  // addresses are not stable across executions; construction order is).
+  virtual std::uint64_t mutex_created(const void* mu) = 0;
+  virtual void yield() = 0;
+};
+
+// The calling thread's scheduler, or nullptr when it is not controlled
+// (which is every thread unless a checker explicitly adopted it).
+SchedHooks* sched_hooks() noexcept;
+// Installs/clears the calling thread's scheduler. Called by the checker's
+// thread wrappers only.
+void set_sched_hooks(SchedHooks* hooks) noexcept;
+
+// Spin-loop back-off that the checker can see: under control the calling
+// thread is descheduled until some other thread makes a step (the move
+// that lets the explorer terminate unbounded wait loops like the reconfig
+// commit's quiescence scan); otherwise a plain std::this_thread::yield().
+inline void sched_yield() {
+#if defined(CNET_SCHED_CHECK)
+  if (SchedHooks* h = sched_hooks()) {
+    h->yield();
+    return;
+  }
+#endif
+  std::this_thread::yield();
+}
+
+}  // namespace cnet::util

@@ -8,10 +8,10 @@
 // triggers (svc::LoadStats).
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <vector>
 
+#include "cnet/util/atomic.hpp"
 #include "cnet/util/cacheline.hpp"
 #include "cnet/util/ensure.hpp"
 
@@ -19,13 +19,21 @@ namespace cnet::util {
 
 class StallSlots {
  public:
+  // Under the schedule checker every slot read in total() is one explored
+  // step, so the default scatter width shrinks to keep driver state spaces
+  // small; production builds keep the full contention-avoiding spread.
+#if defined(CNET_SCHED_CHECK)
+  static constexpr std::size_t kDefaultSlots = 2;
+#else
   static constexpr std::size_t kDefaultSlots = 64;
+#endif
 
   explicit StallSlots(std::size_t slots = kDefaultSlots) : slots_(slots) {
     CNET_REQUIRE(slots > 0, "at least one stall slot");
   }
 
-  void add(std::size_t thread_hint, std::uint64_t stalls) noexcept {
+  void add(std::size_t thread_hint,
+           std::uint64_t stalls) noexcept(!kSchedCheckEnabled) {
     if (stalls != 0) {
       slots_[thread_hint % slots_.size()].value.fetch_add(
           stalls, std::memory_order_relaxed);
@@ -37,13 +45,13 @@ class StallSlots {
   // exactly what a "sample every N of my ops" trigger needs — no cross-slot
   // sum on the hot path.
   std::uint64_t add_and_get(std::size_t thread_hint,
-                            std::uint64_t events) noexcept {
+                            std::uint64_t events) noexcept(!kSchedCheckEnabled) {
     return slots_[thread_hint % slots_.size()].value.fetch_add(
                events, std::memory_order_relaxed) +
            events;
   }
 
-  std::uint64_t total() const noexcept {
+  std::uint64_t total() const noexcept(!kSchedCheckEnabled) {
     std::uint64_t sum = 0;
     for (const auto& slot : slots_) {
       sum += slot.value.load(std::memory_order_relaxed);
@@ -52,7 +60,7 @@ class StallSlots {
   }
 
  private:
-  std::vector<Padded<std::atomic<std::uint64_t>>> slots_;
+  std::vector<Padded<Atomic<std::uint64_t>>> slots_;
 };
 
 }  // namespace cnet::util

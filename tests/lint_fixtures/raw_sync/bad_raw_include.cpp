@@ -1,0 +1,12 @@
+// Self-test fixture: direct <mutex> include plus the primitives it brings.
+#include <mutex>
+
+namespace fixture {
+
+inline int counter_bump(int& x) {
+  static std::mutex mu;
+  const std::lock_guard<std::mutex> lock(mu);
+  return ++x;
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Self-test fixture: raw RAII lock types over a util::Mutex-shaped thing.
+namespace fixture {
+
+template <class M>
+inline void twice(M& a, M& b) {
+  const std::scoped_lock lock(a, b);
+}
+
+template <class M>
+inline void once(M& m) {
+  std::unique_lock<M> lock(m);
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Self-test fixture: names a raw mutex type without including <mutex>
+// itself (arrived transitively) — the identifier rule must still fire.
+namespace fixture {
+
+struct Holder {
+  std::shared_mutex* mu = nullptr;
+  std::condition_variable* cv = nullptr;
+};
+
+}  // namespace fixture

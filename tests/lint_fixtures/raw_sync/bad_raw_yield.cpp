@@ -1,0 +1,11 @@
+// Self-test fixture: a bare yield spin the schedule checker cannot
+// deschedule — must go through util::sched_yield.
+#include <thread>
+
+namespace fixture {
+
+inline void spin_wait(const bool& flag) {
+  while (!flag) std::this_thread::yield();
+}
+
+}  // namespace fixture

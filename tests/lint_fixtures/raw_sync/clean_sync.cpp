@@ -1,0 +1,20 @@
+// Self-test fixture: the blessed way to synchronize outside util/ and
+// check/ — util wrappers only. Mentions of std::mutex in comments and
+// "std::lock_guard in strings" must not fire either.
+#include "cnet/util/mutex.hpp"
+#include "cnet/util/sched_point.hpp"
+
+namespace fixture {
+
+inline int locked_add(cnet::util::Mutex& mu, int& x) {
+  const cnet::util::MutexLock lock(mu);
+  return ++x;
+}
+
+inline void polite_spin() {
+  for (int i = 0; i < 4; ++i) cnet::util::sched_yield();
+}
+
+inline const char* label() { return "prefer std::lock_guard? no: MutexLock"; }
+
+}  // namespace fixture

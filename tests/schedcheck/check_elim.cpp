@@ -1,0 +1,102 @@
+// Schedule-checker driver: EliminationLayer pairing protocol.
+//
+// The slot word's catch/deposit/withdraw CAS dance is explored exhaustively
+// (every load/CAS is one schedulable step, util::Atomic). The invariants
+// are the layer's conservation contract: pairing is symmetric (an inc hit
+// implies exactly one dec hit with the same synthesized negative value),
+// and the pairs/withdrawals counters account every op exactly.
+#include <cstdint>
+#include <memory>
+
+#include "cnet/check/driver.hpp"
+#include "cnet/svc/elimination.hpp"
+#include "cnet/util/ensure.hpp"
+
+namespace {
+
+using cnet::check::Expect;
+using cnet::check::Scenario;
+using cnet::check::TestContext;
+using cnet::svc::EliminationLayer;
+
+struct OpResult {
+  bool hit = false;
+  std::int64_t value = 0;
+};
+
+EliminationLayer::Config tiny_layer() {
+  EliminationLayer::Config cfg;
+  cfg.slots = 1;     // one exchange slot: every op contends on one word
+  cfg.max_spins = 3; // bounded waiting keeps the schedule space tiny
+  return cfg;
+}
+
+void inc_dec_pair(TestContext& ctx) {
+  auto layer = std::make_shared<EliminationLayer>(tiny_layer());
+  auto inc = std::make_shared<OpResult>();
+  auto dec = std::make_shared<OpResult>();
+  ctx.spawn([layer, inc] {
+    inc->hit = layer->try_exchange(EliminationLayer::Role::kInc, 1, 3,
+                                   &inc->value);
+  });
+  ctx.spawn([layer, dec] {
+    dec->hit = layer->try_exchange(EliminationLayer::Role::kDec, 2, 3,
+                                   &dec->value);
+  });
+  ctx.join_all();
+  CNET_ENSURE(inc->hit == dec->hit,
+              "one-sided pairing: inc and dec disagree on whether they met");
+  if (inc->hit) {
+    CNET_ENSURE(inc->value == dec->value,
+                "paired ops disagree on the synthesized value");
+    CNET_ENSURE(inc->value < 0, "pair value must be negative");
+    CNET_ENSURE(layer->pairs() == 1, "pairing not counted exactly once");
+    CNET_ENSURE(layer->withdrawals() == 0,
+                "a completed pairing must not count a withdrawal");
+  } else {
+    CNET_ENSURE(layer->pairs() == 0, "counted a pair nobody observed");
+    CNET_ENSURE(layer->withdrawals() <= 2, "more withdrawals than deposits");
+  }
+}
+
+void two_inc_one_dec(TestContext& ctx) {
+  auto layer = std::make_shared<EliminationLayer>(tiny_layer());
+  auto inc_a = std::make_shared<OpResult>();
+  auto inc_b = std::make_shared<OpResult>();
+  auto dec = std::make_shared<OpResult>();
+  auto run_inc = [layer](std::shared_ptr<OpResult> out, std::size_t hint) {
+    return [layer, out, hint] {
+      out->hit = layer->try_exchange(EliminationLayer::Role::kInc, hint, 2,
+                                     &out->value);
+    };
+  };
+  ctx.spawn(run_inc(inc_a, 1));
+  ctx.spawn(run_inc(inc_b, 2));
+  ctx.spawn([layer, dec] {
+    dec->hit = layer->try_exchange(EliminationLayer::Role::kDec, 3, 2,
+                                   &dec->value);
+  });
+  ctx.join_all();
+  const int inc_hits = (inc_a->hit ? 1 : 0) + (inc_b->hit ? 1 : 0);
+  CNET_ENSURE(inc_hits == (dec->hit ? 1 : 0),
+              "inc hits must match dec hits one-to-one");
+  if (dec->hit) {
+    const std::int64_t paired = inc_a->hit ? inc_a->value : inc_b->value;
+    CNET_ENSURE(paired == dec->value,
+                "paired ops disagree on the synthesized value");
+    CNET_ENSURE(layer->pairs() == 1, "pairing not counted exactly once");
+  } else {
+    CNET_ENSURE(layer->pairs() == 0, "counted a pair nobody observed");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return cnet::check::run_scenarios(
+      {
+          Scenario{"inc_dec_pair", Expect::kClean, inc_dec_pair},
+          Scenario{"two_inc_one_dec", Expect::kClean, two_inc_one_dec},
+      },
+      argc, argv);
+}

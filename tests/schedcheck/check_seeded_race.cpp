@@ -1,0 +1,61 @@
+// Schedule-checker driver: the teeth test.
+//
+// PR 9 fixed OverloadManager::add_monitor registering the monitor outside
+// the registry mutex — a sampler walking the vector mid-growth. This
+// driver re-introduces that exact registration order through the
+// CNET_SCHED_CHECK-only seam testonly_add_monitor_unlocked and requires
+// the explorer to find the overlap deterministically (Expect::kViolation:
+// the driver fails if the checker does NOT catch it, and re-replays the
+// reported schedule string to prove bit-identical reproduction). The
+// locked twin runs the same race with the real add_monitor and must
+// explore clean — the fix, proven against every bounded schedule.
+#include <memory>
+
+#include "cnet/check/driver.hpp"
+#include "cnet/svc/overload.hpp"
+#include "cnet/util/ensure.hpp"
+
+namespace {
+
+using cnet::check::Expect;
+using cnet::check::Scenario;
+using cnet::check::TestContext;
+using cnet::svc::GaugeMonitor;
+using cnet::svc::OverloadManager;
+
+void unlocked_registration(TestContext& ctx) {
+  auto mgr = std::make_shared<OverloadManager>();
+  mgr->add_monitor(std::make_unique<GaugeMonitor>("g0", 4));
+  ctx.spawn([mgr] { mgr->evaluate(); });
+  ctx.spawn([mgr] {
+    // The pre-PR-9 bug, verbatim: registry mutation with no lock held.
+    mgr->testonly_add_monitor_unlocked(
+        std::make_unique<GaugeMonitor>("g1", 4));
+  });
+  ctx.join_all();
+  CNET_ENSURE(mgr->num_monitors() == 2, "a registration was lost");
+}
+
+void locked_registration(TestContext& ctx) {
+  auto mgr = std::make_shared<OverloadManager>();
+  mgr->add_monitor(std::make_unique<GaugeMonitor>("g0", 4));
+  ctx.spawn([mgr] { mgr->evaluate(); });
+  ctx.spawn([mgr] {
+    mgr->add_monitor(std::make_unique<GaugeMonitor>("g1", 4));
+  });
+  ctx.join_all();
+  CNET_ENSURE(mgr->num_monitors() == 2, "a registration was lost");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return cnet::check::run_scenarios(
+      {
+          Scenario{"unlocked_registration", Expect::kViolation,
+                   unlocked_registration},
+          Scenario{"locked_registration", Expect::kClean,
+                   locked_registration},
+      },
+      argc, argv);
+}

@@ -123,6 +123,36 @@ TEST(ModelCheck, ExactWorstCaseKnownValues) {
   }
 }
 
+TEST(ModelCheck, GoldenScheduleSpaceDepthTwo) {
+  // Pinned schedule-space size and exact worst/best-case stall counts for
+  // the depth-2 network C(4,8) — a golden for the *explorer itself*: a
+  // change to queue ordering, the duplicate-state filter, or the stall
+  // accounting shifts either the execution count or the stall envelope and
+  // fails here before any downstream claim (contention tables, adversary
+  // calibration) silently drifts.
+  const auto net = core::make_counting(4, 8);
+  {
+    ModelCheckConfig cfg;
+    cfg.concurrency = 2;
+    cfg.total_tokens = 3;
+    const auto r = explore_all_executions(net, cfg);
+    EXPECT_EQ(r.executions, 84u);
+    EXPECT_EQ(r.min_total_stalls, 0u);
+    EXPECT_EQ(r.max_total_stalls, 2u);
+    EXPECT_TRUE(r.all_exact);
+  }
+  {
+    ModelCheckConfig cfg;
+    cfg.concurrency = 3;
+    cfg.total_tokens = 4;
+    const auto r = explore_all_executions(net, cfg);
+    EXPECT_EQ(r.executions, 7571u);
+    EXPECT_EQ(r.min_total_stalls, 1u);
+    EXPECT_EQ(r.max_total_stalls, 5u);
+    EXPECT_TRUE(r.all_exact);
+  }
+}
+
 // The wavefront-convoy heuristic can never beat the exhaustive optimum,
 // and on convoy-friendly instances it should land close to it.
 TEST(ModelCheck, HeuristicAdversaryBoundedByExactOptimum) {

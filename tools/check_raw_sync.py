@@ -1,0 +1,251 @@
+#!/usr/bin/env python3
+"""No-raw-sync lint: every lock and yield goes through util/, mechanically.
+
+PR 9 migrated the tree onto util::Mutex / util::MutexLock (thread-safety-
+annotated), and the schedule checker (src/cnet/check/) now virtualizes that
+layer: under CNET_SCHED_CHECK every util::Mutex operation and
+util::sched_yield is one schedulable step the explorer controls. A raw
+``std::mutex`` (or a bare ``std::this_thread::yield`` spin) sneaking back
+in outside util/ would be invisible to the checker *and* to the clang
+Thread Safety Analysis job — a blind spot in both static-analysis gates at
+once. This lint turns that rule from prose into CI:
+
+  raw-include     a file includes <mutex>, <shared_mutex> or
+                  <condition_variable> directly
+  raw-mutex       code (comments/strings stripped) names std::mutex,
+                  std::recursive_mutex, std::shared_mutex, std::timed_mutex
+                  or std::condition_variable
+  raw-lock        code names std::lock_guard, std::scoped_lock,
+                  std::unique_lock or std::shared_lock
+  raw-yield       code calls std::this_thread::yield directly (use
+                  util::sched_yield, which the explorer can deschedule)
+
+Scope: src/cnet/**/*.{hpp,cpp} minus two allowlisted subtrees:
+  src/cnet/util/   — the wrappers themselves (util::Mutex owns the real
+                     std::mutex; sched_point.hpp owns the real yield)
+  src/cnet/check/  — the explorer's control plane: its scheduler must run
+                     on real, *uncontrolled* primitives or it would try to
+                     schedule itself
+
+Pure stdlib, no third-party deps. Exit 0 = clean, 1 = violations.
+``--self-test`` runs the checker against tests/lint_fixtures/raw_sync/ and
+verifies every violation class fires on its bad fixture and stays quiet on
+the clean one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Subtrees (relative to src/cnet) where the raw primitives are the point.
+ALLOWED_SUBTREES = ("util/", "check/")
+
+RAW_INCLUDES = {"mutex", "shared_mutex", "condition_variable"}
+
+IDENTIFIER_RULES = [
+    ("raw-mutex",
+     re.compile(r"\bstd::(?:recursive_|shared_|timed_)?mutex\b"),
+     "use util::Mutex (annotated, schedule-checkable)"),
+    ("raw-mutex",
+     re.compile(r"\bstd::condition_variable(?:_any)?\b"),
+     "condition variables live in util/ or check/ only"),
+    ("raw-lock",
+     re.compile(r"\bstd::(?:lock_guard|scoped_lock|unique_lock|shared_lock)"
+                r"\b"),
+     "use util::MutexLock / util::DualMutexLock"),
+    ("raw-yield",
+     re.compile(r"\bstd::this_thread::yield\b"),
+     "use util::sched_yield so the schedule checker can deschedule the "
+     "spin"),
+]
+
+INCLUDE_RE = re.compile(r"^\s*#\s*include\s*<([^>]+)>", re.M)
+
+
+class Violation:
+    def __init__(self, path: Path, line: int, code: str, message: str):
+        self.path = path
+        self.line = line
+        self.code = code
+        self.message = message
+
+    def __str__(self) -> str:
+        try:
+            rel = self.path.resolve().relative_to(REPO_ROOT)
+        except ValueError:
+            rel = self.path
+        return f"{rel}:{self.line}: [{self.code}] {self.message}"
+
+
+def strip_comments_and_strings(text: str, *, strings: bool = True) -> str:
+    """Blank out comments (and, by default, string/char literals),
+    preserving line layout. A ``'`` directly after an alphanumeric is a
+    digit separator (1'000), not a char literal."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out.append(" ")
+                i += 1
+        elif ch == "/" and nxt == "*":
+            out.append("  ")
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and
+                                 text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append("  ")
+                i += 2
+        elif strings and (ch == '"' or ch == "'"):
+            if ch == "'" and out and (out[-1].isalnum() or out[-1] == "_"):
+                out.append(" ")  # digit separator
+                i += 1
+                continue
+            quote = ch
+            out.append(quote)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append("\n" if text[i] == "\n" else " ")
+                    i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def check_file(path: Path):
+    """All per-file checks. Returns a list of Violations."""
+    text = path.read_text(encoding="utf-8")
+    code = strip_comments_and_strings(text)
+    violations = []
+
+    for match in INCLUDE_RE.finditer(code):
+        if match.group(1) in RAW_INCLUDES:
+            line = code.count("\n", 0, match.start()) + 1
+            violations.append(Violation(
+                path, line, "raw-include",
+                f"direct #include <{match.group(1)}> outside util/ and "
+                "check/ — the raw primitives belong behind the util "
+                "wrappers"))
+
+    for code_name, pattern, hint in IDENTIFIER_RULES:
+        for match in pattern.finditer(code):
+            line = code.count("\n", 0, match.start()) + 1
+            violations.append(Violation(
+                path, line, code_name,
+                f"'{match.group(0)}' outside util/ and check/ — {hint}"))
+    return violations
+
+
+def find_scoped_files(root: Path):
+    base = root / "src" / "cnet"
+    files = []
+    for path in sorted(base.glob("**/*")):
+        if path.suffix not in (".hpp", ".cpp"):
+            continue
+        rel = path.relative_to(base).as_posix()
+        if any(rel.startswith(prefix) for prefix in ALLOWED_SUBTREES):
+            continue
+        files.append(path)
+    return files
+
+
+def run_tree(root: Path) -> int:
+    files = find_scoped_files(root)
+    if not files:
+        print(f"error: no sources found under {root}/src/cnet",
+              file=sys.stderr)
+        return 1
+    violations = []
+    for path in files:
+        violations.extend(check_file(path))
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"\ncheck_raw_sync: {len(violations)} violation(s) across "
+              f"{len(files)} file(s).", file=sys.stderr)
+        return 1
+    print(f"check_raw_sync: {len(files)} file(s) clean — all sync goes "
+          "through util/.")
+    return 0
+
+
+# --------------------------------------------------------------- self-test
+
+FIXTURE_DIR = REPO_ROOT / "tests" / "lint_fixtures" / "raw_sync"
+
+# fixture file -> exact set of violation codes it must produce.
+FILE_FIXTURES = {
+    "clean_sync.cpp": set(),
+    "bad_raw_include.cpp": {"raw-include", "raw-mutex", "raw-lock"},
+    "bad_raw_mutex.cpp": {"raw-mutex"},
+    "bad_raw_lock.cpp": {"raw-lock"},
+    "bad_raw_yield.cpp": {"raw-yield"},
+}
+
+
+def run_self_test() -> int:
+    failures = []
+    for name, expected in sorted(FILE_FIXTURES.items()):
+        path = FIXTURE_DIR / name
+        if not path.exists():
+            failures.append(f"missing fixture {path}")
+            continue
+        got = {v.code for v in check_file(path)}
+        if got != expected:
+            failures.append(
+                f"{name}: expected violation codes {sorted(expected) or '{}'}"
+                f", got {sorted(got) or '{}'}")
+
+    # The scope rule is half the checker: util/ and check/ must be excluded,
+    # everything else included.
+    scoped = {p.relative_to(REPO_ROOT / "src" / "cnet").as_posix()
+              for p in find_scoped_files(REPO_ROOT)}
+    for banned_prefix in ALLOWED_SUBTREES:
+        leaked = sorted(p for p in scoped if p.startswith(banned_prefix))
+        if leaked:
+            failures.append(f"scope leak: {leaked[:3]} under {banned_prefix}")
+    if not any(p.startswith("svc/") for p in scoped):
+        failures.append("scope miss: no svc/ sources in scope")
+
+    if failures:
+        for f in failures:
+            print(f"self-test FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"check_raw_sync --self-test: {len(FILE_FIXTURES)} file fixtures "
+          "+ scope pin all behaved.")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path, default=REPO_ROOT,
+                        help="repo root (default: inferred from script path)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the checker against "
+                             "tests/lint_fixtures/raw_sync/")
+    args = parser.parse_args()
+    if args.self_test:
+        return run_self_test()
+    return run_tree(args.root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
